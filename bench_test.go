@@ -1,0 +1,351 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one target
+// per table/figure plus the ablation and sensitivity studies indexed in
+// DESIGN.md. Horizons are shortened (benchmarks are smoke-scale); the
+// full-horizon numbers in EXPERIMENTS.md come from cmd/papereval.
+//
+// The interesting output is the custom metrics (cap_wait_s, util_wait_s,
+// improvement_pct, ...) reported next to the usual ns/op.
+package utilbp
+
+import (
+	"testing"
+
+	"utilbp/internal/core"
+	"utilbp/internal/experiment"
+	"utilbp/internal/scenario"
+	"utilbp/internal/stability"
+)
+
+// benchSetup returns the paper configuration with a fixed seed.
+func benchSetup() Setup {
+	s := DefaultSetup()
+	s.Seed = 1
+	return s
+}
+
+const (
+	benchHorizon = 1200.0 // seconds of simulated time per run
+	figHorizon   = 2000.0 // the paper's Figures 3-5 horizon
+)
+
+// benchPeriods is a coarse CAP-BP sweep for benchmark-scale runs.
+var benchPeriods = []int{14, 22, 30, 38}
+
+// table3Bench runs one Table III row at benchmark scale and reports the
+// paper's three columns as metrics.
+func table3Bench(b *testing.B, pattern Pattern) {
+	b.Helper()
+	setup := benchSetup()
+	// The mixed pattern switches demand hourly, so truncating it would
+	// just replay Pattern I; run it at the paper's full 4 h horizon.
+	horizon := benchHorizon
+	if pattern == PatternMixed {
+		horizon = 0
+	}
+	var row TableIIIRow
+	for i := 0; i < b.N; i++ {
+		rows, err := TableIII(setup, []Pattern{pattern}, benchPeriods, horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = rows[0]
+	}
+	b.ReportMetric(float64(row.CAPPeriodSec), "cap_best_period_s")
+	b.ReportMetric(row.CAPMeanWait, "cap_wait_s")
+	b.ReportMetric(row.UTILMeanWait, "util_wait_s")
+	b.ReportMetric(row.ImprovementPct, "improvement_pct")
+}
+
+func BenchmarkTable3PatternI(b *testing.B)   { table3Bench(b, PatternI) }
+func BenchmarkTable3PatternII(b *testing.B)  { table3Bench(b, PatternII) }
+func BenchmarkTable3PatternIII(b *testing.B) { table3Bench(b, PatternIII) }
+func BenchmarkTable3PatternIV(b *testing.B)  { table3Bench(b, PatternIV) }
+func BenchmarkTable3Mixed(b *testing.B)      { table3Bench(b, PatternMixed) }
+
+// BenchmarkFig2PeriodSweep regenerates the Figure 2 curve (CAP-BP period
+// sweep on the mixed pattern) and the flat UTIL-BP line.
+func BenchmarkFig2PeriodSweep(b *testing.B) {
+	setup := benchSetup()
+	var data Fig2Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		data, err = Fig2(setup, benchPeriods, 0) // full 4 h mixed horizon
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best, err := BestPeriod(data.Points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(best.PeriodSec), "cap_best_period_s")
+	b.ReportMetric(best.MeanWait, "cap_best_wait_s")
+	b.ReportMetric(data.UTILWait, "util_wait_s")
+}
+
+// timelineBench regenerates a phase timeline at the paper's Figures 3/4
+// junction (Pattern I, top-right, 2000 s) and reports its shape.
+func timelineBench(b *testing.B, factory Factory) {
+	b.Helper()
+	setup := benchSetup()
+	var tl experiment.TimelineData
+	for i := 0; i < b.N; i++ {
+		var err error
+		tl, err = experiment.PhaseTimeline(setup, scenario.PatternI, factory, figHorizon, 0, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tl.Stats.Transitions), "transitions")
+	b.ReportMetric(100*float64(tl.Stats.AmberSlots)/float64(len(tl.Phases)), "amber_pct")
+	b.ReportMetric(tl.Stats.MeanGreenRun*tl.DT, "mean_green_s")
+	b.ReportMetric(float64(tl.Stats.MaxGreenRun)*tl.DT, "max_green_s")
+}
+
+// BenchmarkFig3PhaseTimelineCAP: fixed-length phases (CAP-BP at a
+// Pattern-I-competitive period).
+func BenchmarkFig3PhaseTimelineCAP(b *testing.B) {
+	timelineBench(b, benchSetup().CapBP(38))
+}
+
+// BenchmarkFig4PhaseTimelineUTIL: varying-length phases (UTIL-BP).
+func BenchmarkFig4PhaseTimelineUTIL(b *testing.B) {
+	timelineBench(b, benchSetup().UtilBP())
+}
+
+// BenchmarkFig5QueueSeries compares the east-approach queue series at the
+// top-right junction for both controllers, the paper's Figure 5.
+func BenchmarkFig5QueueSeries(b *testing.B) {
+	setup := benchSetup()
+	var capMean, utilMean float64
+	var capMax, utilMax int
+	for i := 0; i < b.N; i++ {
+		capQS, err := experiment.EastQueueSeries(setup, scenario.PatternI, setup.CapBP(38), figHorizon, 0, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		utilQS, err := experiment.EastQueueSeries(setup, scenario.PatternI, setup.UtilBP(), figHorizon, 0, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		capMean, utilMean = capQS.Mean, utilQS.Mean
+		capMax, utilMax = capQS.Max, utilQS.Max
+	}
+	b.ReportMetric(capMean, "cap_mean_queue")
+	b.ReportMetric(utilMean, "util_mean_queue")
+	b.ReportMetric(float64(capMax), "cap_max_queue")
+	b.ReportMetric(float64(utilMax), "util_max_queue")
+}
+
+// ablationBench compares a UTIL-BP variant against the full algorithm on
+// Pattern IV (the pattern with the paper's largest margin), reporting
+// how much the removed mechanism was worth.
+func ablationBench(b *testing.B, variant core.GainVariant, noKeepPhase bool) {
+	b.Helper()
+	setup := benchSetup()
+	var full, ablated Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		full, err = Run(Spec{Setup: setup, Pattern: PatternIV, Factory: setup.UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ablated, err = Run(Spec{Setup: setup, Pattern: PatternIV,
+			Factory: setup.UtilBPVariant(variant, noKeepPhase), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(full.Summary.MeanWait, "full_wait_s")
+	b.ReportMetric(ablated.Summary.MeanWait, "ablated_wait_s")
+	b.ReportMetric(100*(ablated.Summary.MeanWait-full.Summary.MeanWait)/full.Summary.MeanWait, "degradation_pct")
+}
+
+// BenchmarkAblationNoWStar removes the W* shift (no service under
+// negative pressure difference) — reverting the paper's eq. (6) change.
+func BenchmarkAblationNoWStar(b *testing.B) {
+	ablationBench(b, core.GainVariant{NoWStarShift: true}, false)
+}
+
+// BenchmarkAblationNoKeepPhase removes the keep-phase mechanism
+// (Algorithm 1 Case 2), re-selecting every mini-slot.
+func BenchmarkAblationNoKeepPhase(b *testing.B) {
+	ablationBench(b, core.GainVariant{}, true)
+}
+
+// BenchmarkAblationNoSpecialCases removes the alpha/beta scenarios of
+// eq. (8).
+func BenchmarkAblationNoSpecialCases(b *testing.B) {
+	ablationBench(b, core.GainVariant{NoSpecialCases: true}, false)
+}
+
+// BenchmarkAblationWholeRoadPressure reverts the per-lane pressure to the
+// whole-road pressure of eq. (5) — the paper's §III-A point (i).
+func BenchmarkAblationWholeRoadPressure(b *testing.B) {
+	ablationBench(b, core.GainVariant{WholeRoadPressure: true}, false)
+}
+
+// BenchmarkAblationCountApproaching widens the detector to vehicles still
+// rolling toward the stop line (ablation A6 in DESIGN.md).
+func BenchmarkAblationCountApproaching(b *testing.B) {
+	setup := benchSetup()
+	setup.CountApproaching = true
+	var full, widened Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		full, err = Run(Spec{Setup: benchSetup(), Pattern: PatternIV, Factory: benchSetup().UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		widened, err = Run(Spec{Setup: setup, Pattern: PatternIV, Factory: setup.UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(full.Summary.MeanWait, "full_wait_s")
+	b.ReportMetric(widened.Summary.MeanWait, "ablated_wait_s")
+	b.ReportMetric(100*(widened.Summary.MeanWait-full.Summary.MeanWait)/full.Summary.MeanWait, "degradation_pct")
+}
+
+// BenchmarkSensitivityAmber sweeps the transition-phase duration
+// Δk ∈ {2,4,6,8} s for UTIL-BP on the mixed pattern.
+func BenchmarkSensitivityAmber(b *testing.B) {
+	for _, amber := range []int{2, 4, 6, 8} {
+		amber := amber
+		b.Run(benchName("dk", amber), func(b *testing.B) {
+			setup := benchSetup()
+			setup.AmberSec = amber
+			var res Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = Run(Spec{Setup: setup, Pattern: PatternMixed, Factory: setup.UtilBP()})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Summary.MeanWait, "util_wait_s")
+		})
+	}
+}
+
+// BenchmarkExtensionHOL runs the mixed-lane head-of-line-blocking
+// extension (paper §IV Q4) against dedicated lanes.
+func BenchmarkExtensionHOL(b *testing.B) {
+	setup := benchSetup()
+	var dedicated, mixed Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		dedicated, err = Run(Spec{Setup: setup, Pattern: PatternII, Factory: setup.UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mixed, err = Run(Spec{Setup: setup, Pattern: PatternII, Factory: setup.UtilBP(), DurationSec: benchHorizon, MixedLanes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(dedicated.Summary.MeanWait, "dedicated_wait_s")
+	b.ReportMetric(mixed.Summary.MeanWait, "mixed_wait_s")
+	b.ReportMetric(100*(mixed.Summary.MeanWait-dedicated.Summary.MeanWait)/dedicated.Summary.MeanWait, "hol_penalty_pct")
+}
+
+// BenchmarkBaselineOrigBP measures the eq. (5) baseline on the mixed
+// pattern for reference.
+func BenchmarkBaselineOrigBP(b *testing.B) {
+	setup := benchSetup()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Run(Spec{Setup: setup, Pattern: PatternMixed, Factory: setup.OrigBP(22)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Summary.MeanWait, "orig_wait_s")
+}
+
+// BenchmarkBaselineFixedTime measures the pretimed round-robin reference.
+func BenchmarkBaselineFixedTime(b *testing.B) {
+	setup := benchSetup()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Run(Spec{Setup: setup, Pattern: PatternMixed, Factory: setup.FixedTime(22)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Summary.MeanWait, "fixed_wait_s")
+}
+
+// BenchmarkStabilityMargin probes the largest stable demand scaling for
+// UTIL-BP vs CAP-BP on Pattern II — the stability/utilization trade-off
+// instrument (paper §VI future work).
+func BenchmarkStabilityMargin(b *testing.B) {
+	setup := benchSetup()
+	var util, capRes stability.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		util, err = stability.Probe(stability.Options{
+			Setup: setup, Pattern: PatternII, Factory: setup.UtilBP(),
+			HorizonSec: 900, Iterations: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		capRes, err = stability.Probe(stability.Options{
+			Setup: setup, Pattern: PatternII, Factory: setup.CapBP(22),
+			HorizonSec: 900, Iterations: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(util.CriticalScale, "util_critical_scale")
+	b.ReportMetric(capRes.CriticalScale, "cap_critical_scale")
+}
+
+// BenchmarkSensitivityBetaOrder compares the paper's beta < alpha ordering
+// against the reversed one the paper mentions as a policy option
+// ("beta can also be larger than alpha"), on the capacity-stressed
+// Pattern I.
+func BenchmarkSensitivityBetaOrder(b *testing.B) {
+	paperOrder := benchSetup() // alpha=-1, beta=-2
+	reversed := benchSetup()
+	reversed.Alpha = -2
+	reversed.Beta = -1
+	var paperRes, revRes Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		paperRes, err = Run(Spec{Setup: paperOrder, Pattern: PatternI, Factory: paperOrder.UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		revRes, err = Run(Spec{Setup: reversed, Pattern: PatternI, Factory: reversed.UtilBP(), DurationSec: benchHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(paperRes.Summary.MeanWait, "beta_lt_alpha_wait_s")
+	b.ReportMetric(revRes.Summary.MeanWait, "alpha_lt_beta_wait_s")
+}
+
+// BenchmarkEngineSteps measures raw simulator throughput: mini-slots per
+// second on the 3×3 network under UTIL-BP (performance, not fidelity).
+func BenchmarkEngineSteps(b *testing.B) {
+	setup := benchSetup()
+	engine, _, _, err := experiment.Prepare(Spec{Setup: setup, Pattern: PatternI, Factory: setup.UtilBP()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	engine.Run(b.N)
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v < 10 {
+		return prefix + "=" + digits[v:v+1]
+	}
+	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+}

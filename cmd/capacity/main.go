@@ -1,0 +1,90 @@
+// Command capacity estimates each controller's capacity margin: the
+// largest uniform scaling of the Table II demand it can stabilize
+// (bounded backlog), via bisection. This operationalizes the
+// stability-vs-utilization trade-off the paper defers to future work.
+//
+// Example:
+//
+//	capacity -pattern II -period 22
+//	capacity -pattern IV -horizon 2400 -iterations 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"utilbp/internal/cli"
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+	"utilbp/internal/stability"
+)
+
+func main() {
+	var (
+		patternFlag = flag.String("pattern", "II", "traffic pattern: I, II, III, IV, mixed")
+		period      = flag.Int("period", 22, "control phase period for the fixed-slot controllers")
+		horizon     = flag.Float64("horizon", 1800, "per-probe horizon in seconds")
+		iterations  = flag.Int("iterations", 6, "bisection steps")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		controllers = flag.String("controllers", "util,cap,orig,fixed", "comma-separated controllers to probe")
+	)
+	flag.Parse()
+
+	pattern, err := cli.ParsePattern(*patternFlag)
+	if err != nil {
+		fatal(err)
+	}
+	setup := scenario.Default()
+	setup.Seed = *seed
+
+	fmt.Printf("capacity margins on pattern %v (%s), horizon %.0f s, %d bisection steps\n",
+		pattern, pattern.Description(), *horizon, *iterations)
+	fmt.Printf("%-10s %-16s %s\n", "controller", "critical scale", "runs")
+	start, names := 0, splitList(*controllers)
+	_ = start
+	for _, name := range names {
+		factory, err := cli.PickFactory(setup, name, *period)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := stability.Probe(stability.Options{
+			Setup:      setup,
+			Pattern:    pattern,
+			Factory:    factory,
+			HorizonSec: *horizon,
+			Iterations: *iterations,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %-16.3f %d\n", displayName(factory), res.CriticalScale, len(res.Evaluations))
+	}
+	fmt.Println("\nscale 1.0 = the paper's Table II demand; larger = more headroom")
+}
+
+func displayName(f signal.Factory) string { return f.Name() }
+
+func splitList(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capacity:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command papereval regenerates the evaluation artifacts of the paper:
+// Table III, the Figure 2 period sweep, and the Figure 3-5 traces. Runs
+// execute in parallel across CPU cores.
+//
+// Examples:
+//
+//	papereval -table3
+//	papereval -fig2 -out fig2.csv
+//	papereval -all -duration 900 -step 10     # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"utilbp/internal/experiment"
+	"utilbp/internal/scenario"
+	"utilbp/internal/trace"
+)
+
+func main() {
+	var (
+		table3   = flag.Bool("table3", false, "reproduce Table III")
+		ablation = flag.Bool("ablations", false, "run the UTIL-BP ablation table (DESIGN.md A1-A6)")
+		seeds    = flag.Int("seeds", 0, "aggregate Table III over this many seeds (robustness)")
+		fig2     = flag.Bool("fig2", false, "reproduce Figure 2 (period sweep, mixed pattern)")
+		figs     = flag.Bool("figs", false, "reproduce Figures 3-5 (phase timelines + queue series)")
+		all      = flag.Bool("all", false, "reproduce everything")
+		duration = flag.Float64("duration", 0, "override horizon in seconds (0 = paper defaults)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		minP     = flag.Int("min-period", 10, "sweep start (s)")
+		maxP     = flag.Int("max-period", 80, "sweep end (s)")
+		stepP    = flag.Int("step", 2, "sweep step (s)")
+		mu       = flag.Float64("mu", 0, "service rate per movement (0 = scenario default)")
+		outDir   = flag.String("out", "", "directory for CSV outputs (empty = no files)")
+	)
+	flag.Parse()
+	if !*table3 && !*fig2 && !*figs && !*ablation && *seeds == 0 && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	setup := scenario.Default()
+	setup.Seed = *seed
+	if *mu > 0 {
+		setup.Grid.Mu = *mu
+	}
+	var periods []int
+	for p := *minP; p <= *maxP; p += *stepP {
+		periods = append(periods, p)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *table3 || *all {
+		rows, err := experiment.TableIII(setup, nil, periods, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table III ==")
+		fmt.Print(experiment.FormatTableIII(rows))
+		fmt.Println()
+	}
+
+	if *seeds > 0 {
+		list := make([]uint64, *seeds)
+		for i := range list {
+			list[i] = *seed + uint64(i)
+		}
+		rows, err := experiment.TableIIIMultiSeed(setup, nil, periods, *duration, list)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table III robustness across seeds ==")
+		fmt.Print(experiment.FormatSeedStats(rows, list))
+		fmt.Println()
+	}
+
+	if *ablation || *all {
+		rows, err := experiment.Ablations(setup, scenario.PatternIV, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== UTIL-BP ablations (Pattern IV) ==")
+		fmt.Print(experiment.FormatAblations(rows))
+		fmt.Println()
+	}
+
+	if *fig2 || *all {
+		data, err := experiment.Fig2(setup, periods, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Figure 2 (mixed pattern) ==")
+		fmt.Print(experiment.FormatFig2(data))
+		fmt.Println()
+		if *outDir != "" {
+			xs := make([]float64, len(data.Points))
+			ys := make([]float64, len(data.Points))
+			utils := make([]float64, len(data.Points))
+			for i, p := range data.Points {
+				xs[i] = float64(p.PeriodSec)
+				ys[i] = p.MeanWait
+				utils[i] = data.UTILWait
+			}
+			if err := writeCSV(filepath.Join(*outDir, "fig2.csv"),
+				[]string{"period_s", "capbp_wait_s", "utilbp_wait_s"}, xs, ys, utils); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *figs || *all {
+		figDuration := 2000.0
+		if *duration > 0 {
+			figDuration = *duration
+		}
+		// Figure 3: CAP-BP at its Pattern-I-optimal period.
+		sweep, err := experiment.SweepCAPPeriods(setup, scenario.PatternI, periods, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		best, err := experiment.BestPeriod(sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== Figures 3-5 (Pattern I, top-right junction, CAP-BP period %d s) ==\n", best.PeriodSec)
+		row, col := 0, setup.Grid.Cols-1
+		if setup.Grid.Cols == 0 {
+			col = 2
+		}
+		for _, c := range []struct {
+			name string
+			fig  string
+			fact func() (tl experiment.TimelineData, err error)
+		}{
+			{"CAP-BP", "fig3", func() (experiment.TimelineData, error) {
+				return experiment.PhaseTimeline(setup, scenario.PatternI, setup.CapBP(best.PeriodSec), figDuration, row, col)
+			}},
+			{"UTIL-BP", "fig4", func() (experiment.TimelineData, error) {
+				return experiment.PhaseTimeline(setup, scenario.PatternI, setup.UtilBP(), figDuration, row, col)
+			}},
+		} {
+			tl, err := c.fact()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d transitions, %.1f%% amber, mean green run %.1f s, max %d s\n",
+				c.name, tl.Stats.Transitions,
+				100*float64(tl.Stats.AmberSlots)/float64(len(tl.Phases)),
+				tl.Stats.MeanGreenRun*tl.DT, tl.Stats.MaxGreenRun)
+			if *outDir != "" {
+				f, err := os.Create(filepath.Join(*outDir, c.fig+".csv"))
+				if err != nil {
+					fatal(err)
+				}
+				if err := trace.WritePhaseTimeline(f, tl.DT, tl.Phases); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		for _, c := range []struct {
+			name string
+			fig  string
+			run  func() (experiment.QueueSeriesData, error)
+		}{
+			{"CAP-BP", "fig5_cap", func() (experiment.QueueSeriesData, error) {
+				return experiment.EastQueueSeries(setup, scenario.PatternI, setup.CapBP(best.PeriodSec), figDuration, row, col, 5)
+			}},
+			{"UTIL-BP", "fig5_util", func() (experiment.QueueSeriesData, error) {
+				return experiment.EastQueueSeries(setup, scenario.PatternI, setup.UtilBP(), figDuration, row, col, 5)
+			}},
+		} {
+			qs, err := c.run()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s east-approach queue: mean %.2f, max %d\n", c.name, qs.Mean, qs.Max)
+			if *outDir != "" {
+				if err := writeCSV(filepath.Join(*outDir, c.fig+".csv"),
+					[]string{"time_s", "queue"}, qs.Times, trace.IntsToFloats(qs.Values)); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(path string, headers []string, cols ...[]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteSeries(f, headers, cols...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "papereval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command trafficsim runs a single traffic-signal simulation on the
+// paper's 3×3 evaluation network and prints a summary.
+//
+// Examples:
+//
+//	trafficsim -pattern II -controller util
+//	trafficsim -pattern mixed -controller cap -period 20
+//	trafficsim -pattern I -controller orig -period 16 -duration 1800 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"utilbp/internal/cli"
+	"utilbp/internal/config"
+	"utilbp/internal/experiment"
+	"utilbp/internal/scenario"
+	"utilbp/internal/stats"
+	"utilbp/internal/trace"
+)
+
+func main() {
+	var (
+		patternFlag = flag.String("pattern", "II", "traffic pattern: I, II, III, IV, mixed")
+		controller  = flag.String("controller", "util", "controller: util, cap, orig, capnorm, fixed")
+		period      = flag.Int("period", 16, "control phase period in seconds (fixed-slot controllers)")
+		duration    = flag.Float64("duration", 0, "simulation horizon in seconds (0 = pattern default)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		rows        = flag.Int("rows", 3, "grid rows")
+		cols        = flag.Int("cols", 3, "grid columns")
+		capacity    = flag.Int("capacity", 120, "road capacity W")
+		amber       = flag.Int("amber", 4, "transition phase duration in seconds")
+		mu          = flag.Float64("mu", 0, "service rate per movement in veh/s (0 = scenario default)")
+		lost        = flag.Int("startup-lost", 0, "startup lost time in seconds at green onset (0 = default, -1 = off)")
+		mixedLanes  = flag.Bool("mixed-lanes", false, "enable the head-of-line blocking extension")
+		configPath  = flag.String("config", "", "JSON experiment config (overrides the other flags)")
+		vehOut      = flag.String("vehicles-out", "", "write per-vehicle lifecycle CSV to this path")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		exp, err := config.LoadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := exp.Spec()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiment.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+
+	pattern, err := cli.ParsePattern(*patternFlag)
+	if err != nil {
+		fatal(err)
+	}
+	setup := scenario.Default()
+	setup.Seed = *seed
+	setup.AmberSec = *amber
+	setup.Grid.Rows = *rows
+	setup.Grid.Cols = *cols
+	setup.Grid.Capacity = *capacity
+	if *mu > 0 {
+		setup.Grid.Mu = *mu
+	}
+
+	factory, err := cli.PickFactory(setup, *controller, *period)
+	if err != nil {
+		fatal(err)
+	}
+	spec := experiment.Spec{
+		Setup:            setup,
+		Pattern:          pattern,
+		Factory:          factory,
+		DurationSec:      *duration,
+		MixedLanes:       *mixedLanes,
+		StartupLostSteps: *lost,
+	}
+	if *vehOut == "" {
+		res, err := experiment.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+	engine, _, horizon, err := experiment.Prepare(spec)
+	if err != nil {
+		fatal(err)
+	}
+	engine.RunFor(horizon)
+	engine.FinalizeWaits()
+	if err := engine.CheckInvariants(); err != nil {
+		fatal(err)
+	}
+	printResult(experiment.Result{
+		Controller:  factory.Name(),
+		Pattern:     pattern,
+		DurationSec: horizon,
+		Summary:     stats.Summarize(engine.Vehicles()),
+		Totals:      engine.Totals(),
+	})
+	f, err := os.Create(*vehOut)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteVehicles(f, engine.Vehicles()); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vehicle records   -> %s\n", *vehOut)
+}
+
+func printResult(res experiment.Result) {
+	s := res.Summary
+	fmt.Printf("controller        %s\n", res.Controller)
+	fmt.Printf("pattern           %v (%s)\n", res.Pattern, res.Pattern.Description())
+	fmt.Printf("horizon           %.0f s\n", res.DurationSec)
+	fmt.Printf("vehicles          %d spawned, %d exited (%.1f%% complete)\n",
+		s.Spawned, s.Exited, s.CompletionRate*100)
+	fmt.Printf("avg queuing time  %.2f s (exited-only %.2f s)\n", s.MeanWait, s.MeanWaitExited)
+	fmt.Printf("queuing p50/p90/p99  %.1f / %.1f / %.1f s\n", s.P50, s.P90, s.P99)
+	fmt.Printf("max queuing time  %.1f s\n", s.MaxWait)
+	fmt.Printf("avg trip time     %.1f s\n", s.MeanTripTime)
+	fmt.Printf("junction services %d\n", res.Totals.Served)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trafficsim:", err)
+	os.Exit(1)
+}

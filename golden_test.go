@@ -1,0 +1,60 @@
+package utilbp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenReproducibility pins exact outputs for fixed seeds. Every run
+// is a pure function of the seed (see README "Determinism"), so these
+// values must not drift between commits: a change here means simulation
+// behaviour changed and EXPERIMENTS.md needs regenerating. Update the
+// constants deliberately when a behaviour change is intended.
+func TestGoldenReproducibility(t *testing.T) {
+	setup := DefaultSetup()
+	setup.Seed = 2026
+
+	util, err := Run(Spec{Setup: setup, Pattern: PatternII, Factory: setup.UtilBP(), DurationSec: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "UTIL-BP", util, golden{
+		spawned: 1806, exited: 1434, served: 4543, meanWait: 83.807006,
+	})
+
+	capbp, err := Run(Spec{Setup: setup, Pattern: PatternII, Factory: setup.CapBP(20), DurationSec: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "CAP-BP@20", capbp, golden{
+		spawned: 1806, exited: 1404, served: 4505, meanWait: 99.667694,
+	})
+
+	// Identical seeds see identical arrival processes regardless of the
+	// controller under test.
+	if util.Summary.Spawned != capbp.Summary.Spawned {
+		t.Errorf("same-seed runs saw different demand: %d vs %d",
+			util.Summary.Spawned, capbp.Summary.Spawned)
+	}
+}
+
+type golden struct {
+	spawned, exited, served int
+	meanWait                float64
+}
+
+func checkGolden(t *testing.T, name string, res Result, want golden) {
+	t.Helper()
+	if res.Summary.Spawned != want.spawned {
+		t.Errorf("%s spawned = %d, want %d", name, res.Summary.Spawned, want.spawned)
+	}
+	if res.Summary.Exited != want.exited {
+		t.Errorf("%s exited = %d, want %d", name, res.Summary.Exited, want.exited)
+	}
+	if res.Totals.Served != want.served {
+		t.Errorf("%s served = %d, want %d", name, res.Totals.Served, want.served)
+	}
+	if math.Abs(res.Summary.MeanWait-want.meanWait) > 1e-4 {
+		t.Errorf("%s mean wait = %.6f, want %.6f", name, res.Summary.MeanWait, want.meanWait)
+	}
+}

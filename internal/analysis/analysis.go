@@ -1,0 +1,146 @@
+// Package analysis provides the small numeric helpers the experiment
+// harness uses to post-process series: summaries, argmin/argmax, moving
+// averages and relative comparisons.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// Std returns the population standard deviation (0 for fewer than two
+// values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MinMax returns the smallest and largest values; zeros for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// ArgMin returns the index of the smallest value (-1 for empty input).
+// Ties resolve to the first occurrence.
+func ArgMin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best == -1 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest value (-1 for empty input).
+func ArgMax(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best == -1 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MovingAverage returns the centered moving average with the given odd
+// window (window <= 1 copies the input). Edges shrink the window.
+func MovingAverage(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	if window <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := window / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		total := 0.0
+		for j := lo; j <= hi; j++ {
+			total += xs[j]
+		}
+		out[i] = total / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Improvement returns the relative improvement of candidate over baseline
+// for a lower-is-better metric, e.g. 0.13 when the candidate is 13%
+// faster. It returns an error when the baseline is non-positive.
+func Improvement(baseline, candidate float64) (float64, error) {
+	if baseline <= 0 {
+		return 0, fmt.Errorf("analysis: baseline must be positive, got %v", baseline)
+	}
+	return (baseline - candidate) / baseline, nil
+}
+
+// CumulativeSum returns the running sum of xs.
+func CumulativeSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	total := 0.0
+	for i, x := range xs {
+		total += x
+		out[i] = total
+	}
+	return out
+}
+
+// Trend fits a least-squares line to (0..n-1, xs) and returns its slope;
+// a clearly positive slope on a queue series indicates instability.
+func Trend(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, y := range xs {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,74 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools: pattern and controller-name resolution against a scenario setup.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+)
+
+// ParsePattern resolves a Table II pattern name ("I".."IV", "1".."4",
+// "mixed"/"m", case-insensitive).
+func ParsePattern(s string) (scenario.Pattern, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "I", "1":
+		return scenario.PatternI, nil
+	case "II", "2":
+		return scenario.PatternII, nil
+	case "III", "3":
+		return scenario.PatternIII, nil
+	case "IV", "4":
+		return scenario.PatternIV, nil
+	case "MIXED", "M":
+		return scenario.PatternMixed, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (want I, II, III, IV or mixed)", s)
+}
+
+// ControllerNames lists the names PickFactory accepts.
+func ControllerNames() []string {
+	return []string{"util", "cap", "capnorm", "orig", "fixed"}
+}
+
+// PickFactory resolves a controller name to a factory configured from the
+// setup. period applies to the fixed-slot and pretimed controllers.
+func PickFactory(setup scenario.Setup, name string, period int) (signal.Factory, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "util", "util-bp", "utilbp":
+		return setup.UtilBP(), nil
+	case "cap", "cap-bp", "capbp":
+		return setup.CapBP(period), nil
+	case "capnorm", "cap-bp-norm":
+		return setup.CapBPNormalized(period), nil
+	case "orig", "orig-bp", "origbp":
+		return setup.OrigBP(period), nil
+	case "fixed", "pretimed":
+		return setup.FixedTime(period), nil
+	}
+	return nil, fmt.Errorf("unknown controller %q (want one of %s)",
+		name, strings.Join(ControllerNames(), ", "))
+}
+
+// ParsePeriodRange parses a "min:max:step" sweep specification in seconds
+// (e.g. "10:80:2") into the period list.
+func ParsePeriodRange(s string) ([]int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("period range %q: want min:max:step", s)
+	}
+	var min, max, step int
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &min, &max, &step); err != nil {
+		return nil, fmt.Errorf("period range %q: %v", s, err)
+	}
+	if min <= 0 || max < min || step <= 0 {
+		return nil, fmt.Errorf("period range %q: need 0 < min <= max and step > 0", s)
+	}
+	var out []int
+	for p := min; p <= max; p += step {
+		out = append(out, p)
+	}
+	return out, nil
+}

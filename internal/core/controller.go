@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"utilbp/internal/signal"
+)
+
+// Options configures the UTIL-BP controller.
+type Options struct {
+	// Alpha and Beta are the special-scenario gains of eq. (8)/(9);
+	// zero values default to the paper's alpha=-1, beta=-2.
+	Alpha, Beta float64
+	// AmberSteps is Δk, the transition-phase duration in mini-slots.
+	// Zero defaults to 4 (the paper's 4 s amber at Δt = 1 s).
+	AmberSteps int
+	// Threshold computes g*(k); nil defaults to eq. (12).
+	Threshold ThresholdFunc
+	// Variant applies the ablation switches to the link gain.
+	Variant GainVariant
+	// NoKeepPhase disables Algorithm 1's Case 2 (the mechanism limiting
+	// phase changes), forcing a re-selection every mini-slot — ablation
+	// A2.
+	NoKeepPhase bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = -1
+	}
+	if o.Beta == 0 {
+		o.Beta = -2
+	}
+	if o.AmberSteps == 0 {
+		o.AmberSteps = 4
+	}
+	if o.Threshold == nil {
+		o.Threshold = DefaultThreshold
+	}
+	return o
+}
+
+// Controller is the utilization-aware adaptive back-pressure controller
+// of Algorithm 1. It is invoked at every mini-slot, which is what enables
+// varying-length control phases: a phase lasts exactly as long as its
+// best link keeps clearing vehicles faster than the threshold g*(k).
+type Controller struct {
+	info   signal.JunctionInfo
+	opts   Options
+	params Params
+	gains  []float64
+	// amberUntil is t_Δk expressed as a step index: the transition
+	// phase runs while obs.Step < amberUntil.
+	amberUntil int
+}
+
+// New builds a UTIL-BP controller for a junction.
+func New(info signal.JunctionInfo, opts Options) (*Controller, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.AmberSteps < 0 {
+		return nil, fmt.Errorf("core: AmberSteps must be non-negative, got %d", opts.AmberSteps)
+	}
+	params := Params{Alpha: opts.Alpha, Beta: opts.Beta, WStar: info.WStar}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		info:   info,
+		opts:   opts,
+		params: params,
+		gains:  make([]float64, info.NumLinks),
+	}, nil
+}
+
+// Name implements signal.Controller.
+func (c *Controller) Name() string { return "UTIL-BP" }
+
+// Decide implements signal.Controller with Algorithm 1.
+func (c *Controller) Decide(obs *signal.Obs) signal.Phase {
+	c.gains = Gains(obs, c.params, c.opts.Variant, c.gains)
+	cur := obs.Current
+
+	// Case 1 (lines 1-2): the transition period Δk has not expired.
+	if cur == signal.Amber && obs.Step < c.amberUntil {
+		return signal.Amber
+	}
+
+	// Case 2 (lines 3-4): keep the current phase while its best link
+	// gain exceeds the non-negative threshold g*(k) — the mechanism
+	// that limits the number of transition phases.
+	if cur != signal.Amber && !c.opts.NoKeepPhase {
+		gmax, maxLink := PhaseMaxGain(c.gains, c.info.Phases[cur-1])
+		ctx := ThresholdContext{WStar: c.info.WStar, MaxLink: maxLink, Obs: obs}
+		if maxLink >= 0 {
+			ctx.MaxLinkObs = &obs.Links[maxLink]
+		}
+		if gmax > c.opts.Threshold(ctx) {
+			return cur
+		}
+	}
+
+	// Case 3 (lines 5-17): select the best phase.
+	next := c.selectPhase(cur)
+
+	// Lines 12-16: adopt it directly when it is the current phase or a
+	// transition just ended; otherwise start a transition of Δk slots.
+	if next == cur || cur == signal.Amber {
+		return next
+	}
+	c.amberUntil = obs.Step + c.opts.AmberSteps
+	if c.opts.AmberSteps == 0 {
+		return next
+	}
+	return signal.Amber
+}
+
+// selectPhase implements lines 6-11: among phases guaranteeing some
+// utilization in the next mini-slot (gmax > alpha), pick the highest
+// total gain (best effort against instability); if no phase can
+// guarantee utilization, pick the highest single-link gain. Ties prefer
+// the current phase (avoiding a pointless transition), then the lowest
+// phase number.
+func (c *Controller) selectPhase(cur signal.Phase) signal.Phase {
+	type scored struct {
+		gmax, total float64
+	}
+	scores := make([]scored, len(c.info.Phases))
+	anyUsable := false
+	for pi, phase := range c.info.Phases {
+		gmax, _ := PhaseMaxGain(c.gains, phase)
+		scores[pi] = scored{gmax: gmax, total: PhaseGain(c.gains, phase)}
+		if gmax > c.params.Alpha {
+			anyUsable = true
+		}
+	}
+	best := signal.Amber
+	var bestScore float64
+	better := func(p signal.Phase, score float64) bool {
+		switch {
+		case best == signal.Amber:
+			return true
+		case score > bestScore:
+			return true
+		case score == bestScore && p == cur && best != cur:
+			return true
+		default:
+			return false
+		}
+	}
+	for pi := range scores {
+		p := signal.Phase(pi + 1)
+		if anyUsable {
+			// Lines 6-8: C' = {c_j : gmax > alpha}; argmax total gain.
+			if scores[pi].gmax <= c.params.Alpha {
+				continue
+			}
+			if better(p, scores[pi].total) {
+				best, bestScore = p, scores[pi].total
+			}
+		} else {
+			// Lines 9-10: argmax single-link gain.
+			if better(p, scores[pi].gmax) {
+				best, bestScore = p, scores[pi].gmax
+			}
+		}
+	}
+	return best
+}
+
+// Factory returns a signal.Factory building UTIL-BP controllers with the
+// given options.
+func Factory(opts Options) signal.Factory {
+	return signal.FactoryFunc{
+		Label: "UTIL-BP",
+		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
+			return New(info, opts)
+		},
+	}
+}

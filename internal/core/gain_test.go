@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"utilbp/internal/signal"
+)
+
+func TestLinkGainSpecialCases(t *testing.T) {
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	full := signal.LinkObs{Queue: 10, OutOccupancy: 50, OutCapacity: 50, Mu: 1}
+	if got := LinkGain(&full, p, GainVariant{}); got != -2 {
+		t.Errorf("full outgoing road gain = %v, want beta=-2", got)
+	}
+	empty := signal.LinkObs{Queue: 0, OutQueue: 10, OutOccupancy: 10, OutCapacity: 50, Mu: 1}
+	if got := LinkGain(&empty, p, GainVariant{}); got != -1 {
+		t.Errorf("empty incoming lane gain = %v, want alpha=-1", got)
+	}
+	// The full-outgoing case takes precedence over the empty-incoming
+	// case, per eq. (8)'s ordering.
+	both := signal.LinkObs{Queue: 0, OutOccupancy: 50, OutCapacity: 50, Mu: 1}
+	if got := LinkGain(&both, p, GainVariant{}); got != -2 {
+		t.Errorf("full+empty gain = %v, want beta=-2", got)
+	}
+}
+
+func TestLinkGainFormula(t *testing.T) {
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	// eq. (6): (b_i^{i'} - b_{i'} + W*)·µ.
+	l := signal.LinkObs{Queue: 7, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 2}
+	want := (7.0 - 30.0 + 120.0) * 2
+	if got := LinkGain(&l, p, GainVariant{}); got != want {
+		t.Errorf("gain = %v, want %v", got, want)
+	}
+	// Negative pressure difference still yields a positive gain thanks
+	// to the W* shift — the paper's utilization mechanism.
+	neg := signal.LinkObs{Queue: 3, OutQueue: 100, OutOccupancy: 100, OutCapacity: 120, Mu: 1}
+	if got := LinkGain(&neg, p, GainVariant{}); got <= 0 {
+		t.Errorf("negative-pressure gain = %v, want positive", got)
+	}
+}
+
+// TestLinkGainAlwaysPositiveWhenServiceable verifies the key ordering of
+// eq. (8)/(9): a link that can actually move a vehicle (non-empty lane,
+// non-full outgoing road) always outranks the special cases.
+func TestLinkGainAlwaysPositiveWhenServiceable(t *testing.T) {
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	f := func(q uint16, occ uint16, mu uint8) bool {
+		queue := int(q%120) + 1          // >= 1
+		outOcc := int(occ % 120)         // < capacity
+		rate := float64(mu%4)/2.0 + 0.25 // 0.25..1.75
+		l := signal.LinkObs{
+			Queue: queue, OutQueue: outOcc, OutOccupancy: outOcc, OutCapacity: 120,
+			InCapacity: 120, Mu: rate,
+		}
+		g := LinkGain(&l, p, GainVariant{})
+		return g > 0 && g > p.Alpha && g > p.Beta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkGainMonotonicInQueue(t *testing.T) {
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	prev := math.Inf(-1)
+	for q := 1; q <= 120; q++ {
+		l := signal.LinkObs{Queue: q, OutQueue: 40, OutOccupancy: 40, OutCapacity: 120, Mu: 1}
+		g := LinkGain(&l, p, GainVariant{})
+		if g <= prev {
+			t.Fatalf("gain not strictly increasing at queue %d: %v <= %v", q, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestLinkGainVariants(t *testing.T) {
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	l := signal.LinkObs{Queue: 5, ApproachQueue: 40, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 1}
+
+	// A4: whole-road pressure uses q_i instead of q_i^{i'}.
+	whole := LinkGain(&l, p, GainVariant{WholeRoadPressure: true})
+	if want := (40.0 - 30.0 + 120.0) * 1; whole != want {
+		t.Errorf("whole-road gain = %v, want %v", whole, want)
+	}
+
+	// A1: no W* shift clamps at zero.
+	neg := signal.LinkObs{Queue: 5, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 1}
+	if got := LinkGain(&neg, p, GainVariant{NoWStarShift: true}); got != 0 {
+		t.Errorf("no-shift negative gain = %v, want 0", got)
+	}
+	pos := signal.LinkObs{Queue: 50, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 1}
+	if got := LinkGain(&pos, p, GainVariant{NoWStarShift: true}); got != 20 {
+		t.Errorf("no-shift positive gain = %v, want 20", got)
+	}
+
+	// A3: no special cases scores full/empty links by the formula.
+	full := signal.LinkObs{Queue: 10, OutQueue: 120, OutOccupancy: 120, OutCapacity: 120, Mu: 1}
+	if got := LinkGain(&full, p, GainVariant{NoSpecialCases: true}); got != 10 {
+		t.Errorf("no-special full gain = %v, want 10", got)
+	}
+	empty := signal.LinkObs{Queue: 0, OutQueue: 0, OutOccupancy: 0, OutCapacity: 120, Mu: 1}
+	if got := LinkGain(&empty, p, GainVariant{NoSpecialCases: true}); got != 120 {
+		t.Errorf("no-special empty gain = %v, want 120", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Alpha: -1, Beta: -2, WStar: 120}).Validate(); err != nil {
+		t.Errorf("paper params rejected: %v", err)
+	}
+	bad := []Params{
+		{Alpha: 0, Beta: -2, WStar: 1},
+		{Alpha: -1, Beta: 0, WStar: 1},
+		{Alpha: 1, Beta: -2, WStar: 1},
+		{Alpha: -1, Beta: -2, WStar: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+	// beta > alpha is allowed: "beta can also be larger than alpha,
+	// depending on the characteristics of the entire traffic network".
+	if err := (Params{Alpha: -2, Beta: -1, WStar: 1}).Validate(); err != nil {
+		t.Errorf("beta > alpha rejected: %v", err)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(120)
+	if p.Alpha != -1 || p.Beta != -2 || p.WStar != 120 {
+		t.Errorf("DefaultParams = %+v", p)
+	}
+	if p.Beta >= p.Alpha || p.Alpha >= 0 {
+		t.Error("defaults violate eq. (9)")
+	}
+}
+
+func TestPhaseGains(t *testing.T) {
+	gains := []float64{5, -1, 3, -2}
+	phase := []int{0, 2, 3}
+	if got := PhaseGain(gains, phase); got != 6 {
+		t.Errorf("PhaseGain = %v, want 6", got)
+	}
+	gmax, link := PhaseMaxGain(gains, phase)
+	if gmax != 5 || link != 0 {
+		t.Errorf("PhaseMaxGain = %v/%d, want 5/0", gmax, link)
+	}
+	if g, l := PhaseMaxGain(gains, nil); g != 0 || l != -1 {
+		t.Errorf("empty phase max = %v/%d", g, l)
+	}
+	// All-negative phases still report their (negative) max.
+	gmax, link = PhaseMaxGain(gains, []int{1, 3})
+	if gmax != -1 || link != 1 {
+		t.Errorf("negative PhaseMaxGain = %v/%d, want -1/1", gmax, link)
+	}
+}
+
+func TestGainsBufferReuse(t *testing.T) {
+	obs := &signal.Obs{Links: []signal.LinkObs{
+		{Queue: 1, OutCapacity: 10, Mu: 1},
+		{Queue: 0, OutCapacity: 10, Mu: 1},
+	}}
+	p := Params{Alpha: -1, Beta: -2, WStar: 10}
+	buf := make([]float64, 2)
+	out := Gains(obs, p, GainVariant{}, buf)
+	if &out[0] != &buf[0] {
+		t.Error("Gains did not reuse the buffer")
+	}
+	if out[1] != -1 {
+		t.Errorf("gain[1] = %v, want alpha", out[1])
+	}
+	if out2 := Gains(obs, p, GainVariant{}, nil); len(out2) != 2 {
+		t.Error("Gains with nil dst failed")
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	l := signal.LinkObs{Mu: 1.5}
+	ctx := ThresholdContext{WStar: 120, MaxLink: 0, MaxLinkObs: &l}
+	if got := DefaultThreshold(ctx); got != 180 {
+		t.Errorf("threshold = %v, want 180", got)
+	}
+	if got := DefaultThreshold(ThresholdContext{WStar: 120}); got != 0 {
+		t.Errorf("threshold without max link = %v, want 0", got)
+	}
+	// eq. (12) keeps the phase exactly while b_i^{i'} > b_{i'}: the gain
+	// (b - b' + W*)µ exceeds W*µ iff b > b'.
+	p := Params{Alpha: -1, Beta: -2, WStar: 120}
+	positive := signal.LinkObs{Queue: 31, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 1}
+	balanced := signal.LinkObs{Queue: 30, OutQueue: 30, OutOccupancy: 30, OutCapacity: 120, Mu: 1}
+	thr := DefaultThreshold(ThresholdContext{WStar: 120, MaxLinkObs: &positive})
+	if LinkGain(&positive, p, GainVariant{}) <= thr {
+		t.Error("positive pressure difference should exceed the threshold")
+	}
+	if LinkGain(&balanced, p, GainVariant{}) > thr {
+		t.Error("balanced pressures should not exceed the threshold")
+	}
+}
+
+func TestConstantThreshold(t *testing.T) {
+	f := ConstantThreshold(42)
+	if f(ThresholdContext{}) != 42 {
+		t.Error("constant threshold wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"utilbp/internal/core"
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+)
+
+// AblationRow is the result of removing one UTIL-BP mechanism.
+type AblationRow struct {
+	// Name identifies the ablation (A1..A6 of DESIGN.md).
+	Name string
+	// Description says what was removed.
+	Description string
+	// MeanWait is the resulting average queuing time; DegradationPct is
+	// the relative change against the full algorithm (positive = the
+	// mechanism was helping).
+	MeanWait       float64
+	DegradationPct float64
+}
+
+// ablationSpec describes one variant.
+type ablationSpec struct {
+	name        string
+	description string
+	factory     func(scenario.Setup) signal.Factory
+}
+
+func ablationSpecs() []ablationSpec {
+	return []ablationSpec{
+		{
+			name:        "A1 no-W*-shift",
+			description: "clamp gains at zero: no service under negative pressure difference",
+			factory: func(s scenario.Setup) signal.Factory {
+				return s.UtilBPVariant(core.GainVariant{NoWStarShift: true}, false)
+			},
+		},
+		{
+			name:        "A2 no-keep-phase",
+			description: "drop Algorithm 1 Case 2: re-select the phase every mini-slot",
+			factory: func(s scenario.Setup) signal.Factory {
+				return s.UtilBPVariant(core.GainVariant{}, true)
+			},
+		},
+		{
+			name:        "A3 no-special-cases",
+			description: "score full-outgoing and empty-incoming links by the plain formula",
+			factory: func(s scenario.Setup) signal.Factory {
+				return s.UtilBPVariant(core.GainVariant{NoSpecialCases: true}, false)
+			},
+		},
+		{
+			name:        "A4 whole-road-pressure",
+			description: "use q_i instead of q_i^{i'} for the incoming pressure (eq. 5 style)",
+			factory: func(s scenario.Setup) signal.Factory {
+				return s.UtilBPVariant(core.GainVariant{WholeRoadPressure: true}, false)
+			},
+		},
+		{
+			name:        "A6 count-approaching",
+			description: "pressure includes vehicles still rolling toward the stop line",
+			factory: func(s scenario.Setup) signal.Factory {
+				widened := s
+				widened.CountApproaching = true
+				return widened.UtilBP()
+			},
+		},
+	}
+}
+
+// Ablations runs the full UTIL-BP and every single-mechanism ablation on
+// one pattern, in parallel, and reports the degradation each removal
+// causes. The first returned row is the full algorithm (degradation 0).
+func Ablations(setup scenario.Setup, pattern scenario.Pattern, durationSec float64) ([]AblationRow, error) {
+	specs := ablationSpecs()
+	rows := make([]AblationRow, len(specs)+1)
+	errs := make([]error, len(specs)+1)
+	var wg sync.WaitGroup
+	run := func(i int, factory signal.Factory, name, desc string) {
+		defer wg.Done()
+		res, err := Run(Spec{Setup: setup, Pattern: pattern, Factory: factory, DurationSec: durationSec})
+		if err != nil {
+			errs[i] = fmt.Errorf("experiment: ablation %s: %w", name, err)
+			return
+		}
+		rows[i] = AblationRow{Name: name, Description: desc, MeanWait: res.Summary.MeanWait}
+	}
+	wg.Add(1)
+	go run(0, setup.UtilBP(), "full UTIL-BP", "the complete algorithm")
+	for i, spec := range specs {
+		wg.Add(1)
+		go run(i+1, spec.factory(setup), spec.name, spec.description)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	base := rows[0].MeanWait
+	if base > 0 {
+		for i := 1; i < len(rows); i++ {
+			rows[i].DegradationPct = 100 * (rows[i].MeanWait - base) / base
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-12s %-12s %s\n", "variant", "avg queuing", "vs full", "removed mechanism")
+	for _, r := range rows {
+		delta := "-"
+		if r.Name != "full UTIL-BP" {
+			delta = fmt.Sprintf("%+.1f%%", r.DegradationPct)
+		}
+		fmt.Fprintf(&b, "%-24s %-12s %-12s %s\n",
+			r.Name, fmt.Sprintf("%.2f s", r.MeanWait), delta, r.Description)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+)
+
+// quick returns a setup and a short horizon for fast runs.
+func quickSetup() scenario.Setup {
+	s := scenario.Default()
+	s.Seed = 11
+	return s
+}
+
+func TestRunBasics(t *testing.T) {
+	setup := quickSetup()
+	res, err := Run(Spec{Setup: setup, Pattern: scenario.PatternII, Factory: setup.UtilBP(), DurationSec: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controller != "UTIL-BP" || res.Pattern != scenario.PatternII {
+		t.Errorf("metadata: %+v", res)
+	}
+	if res.DurationSec != 600 {
+		t.Errorf("duration: %v", res.DurationSec)
+	}
+	if res.Summary.Spawned == 0 || res.Summary.Exited == 0 {
+		t.Errorf("no traffic: %+v", res.Summary)
+	}
+	if res.Summary.MeanWait <= 0 {
+		t.Errorf("mean wait: %v", res.Summary.MeanWait)
+	}
+}
+
+func TestRunRequiresFactory(t *testing.T) {
+	if _, err := Run(Spec{Setup: quickSetup(), Pattern: scenario.PatternI}); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+}
+
+func TestRunDefaultDuration(t *testing.T) {
+	setup := quickSetup()
+	_, _, duration, err := Prepare(Spec{Setup: setup, Pattern: scenario.PatternI, Factory: setup.UtilBP()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duration != 3600 {
+		t.Errorf("default duration = %v", duration)
+	}
+}
+
+func TestSweepOrderedAndBest(t *testing.T) {
+	setup := quickSetup()
+	points, err := SweepCAPPeriods(setup, scenario.PatternII, []int{30, 10, 20}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Results come back in the order given.
+	if points[0].PeriodSec != 30 || points[1].PeriodSec != 10 || points[2].PeriodSec != 20 {
+		t.Errorf("order: %+v", points)
+	}
+	best, err := BestPeriod(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.MeanWait < best.MeanWait {
+			t.Errorf("best %v not minimal vs %v", best, p)
+		}
+	}
+	if _, err := BestPeriod(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	setup := quickSetup()
+	a, err := SweepCAPPeriods(setup, scenario.PatternII, []int{12, 24}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepCAPPeriods(setup, scenario.PatternII, []int{12, 24}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep diverged: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestTableIIIShortRun(t *testing.T) {
+	setup := quickSetup()
+	rows, err := TableIII(setup, []scenario.Pattern{scenario.PatternII}, []int{14, 20}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Pattern != scenario.PatternII {
+		t.Errorf("pattern: %v", r.Pattern)
+	}
+	if r.CAPPeriodSec != 14 && r.CAPPeriodSec != 20 {
+		t.Errorf("period: %d", r.CAPPeriodSec)
+	}
+	if r.CAPMeanWait <= 0 || r.UTILMeanWait <= 0 {
+		t.Errorf("waits: %+v", r)
+	}
+	text := FormatTableIII(rows)
+	if !strings.Contains(text, "II") || !strings.Contains(text, "UTIL-BP") {
+		t.Errorf("format: %q", text)
+	}
+}
+
+func TestFig2ShortRun(t *testing.T) {
+	setup := quickSetup()
+	data, err := Fig2(setup, []int{16, 40}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 2 || data.UTILWait <= 0 {
+		t.Errorf("fig2: %+v", data)
+	}
+	text := FormatFig2(data)
+	if !strings.Contains(text, "UTIL-BP") || !strings.Contains(text, "16 s") {
+		t.Errorf("format: %q", text)
+	}
+}
+
+func TestPhaseTimelineShortRun(t *testing.T) {
+	setup := quickSetup()
+	tl, err := PhaseTimeline(setup, scenario.PatternI, setup.UtilBP(), 300, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Phases) != 300 {
+		t.Fatalf("timeline length = %d", len(tl.Phases))
+	}
+	if tl.Controller != "UTIL-BP" || tl.DT != 1 {
+		t.Errorf("metadata: %+v", tl)
+	}
+	greens := 0
+	for p := range tl.Stats.GreenSlots {
+		if p == signal.Amber {
+			t.Error("amber counted as green")
+		}
+		greens += tl.Stats.GreenSlots[p]
+	}
+	if greens+tl.Stats.AmberSlots != 300 {
+		t.Errorf("slots don't add up: %d + %d", greens, tl.Stats.AmberSlots)
+	}
+	if _, err := PhaseTimeline(setup, scenario.PatternI, setup.UtilBP(), 100, 9, 9); err == nil {
+		t.Error("bad junction accepted")
+	}
+}
+
+func TestEastQueueSeriesShortRun(t *testing.T) {
+	setup := quickSetup()
+	qs, err := EastQueueSeries(setup, scenario.PatternI, setup.CapBP(16), 300, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Values) != 60 {
+		t.Fatalf("samples = %d, want 60", len(qs.Values))
+	}
+	if qs.Controller != "CAP-BP" {
+		t.Errorf("controller: %q", qs.Controller)
+	}
+	if _, err := EastQueueSeries(setup, scenario.PatternI, setup.CapBP(16), 100, 9, 9, 5); err == nil {
+		t.Error("bad junction accepted")
+	}
+}
+
+func TestDefaultAndCoarsePeriods(t *testing.T) {
+	d := DefaultPeriods()
+	if d[0] != 10 || d[len(d)-1] != 80 || len(d) != 36 {
+		t.Errorf("default periods: %v", d)
+	}
+	c := CoarsePeriods()
+	if c[0] != 10 || c[len(c)-1] != 80 || len(c) != 8 {
+		t.Errorf("coarse periods: %v", c)
+	}
+}
+
+// TestHeadlineShortRun is the integration check of the paper's headline:
+// on a shortened Pattern IV run, UTIL-BP beats CAP-BP at every period in
+// a small sweep.
+func TestHeadlineShortRun(t *testing.T) {
+	setup := quickSetup()
+	util, err := Run(Spec{Setup: setup, Pattern: scenario.PatternIV, Factory: setup.UtilBP(), DurationSec: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := SweepCAPPeriods(setup, scenario.PatternIV, []int{14, 22, 30}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := BestPeriod(points)
+	if util.Summary.MeanWait >= best.MeanWait {
+		t.Errorf("UTIL-BP (%.1f s) did not beat CAP-BP best (%.1f s @ %d s)",
+			util.Summary.MeanWait, best.MeanWait, best.PeriodSec)
+	}
+}
+
+// TestMixedLanesExtension checks the HOL extension run path end to end.
+func TestMixedLanesExtension(t *testing.T) {
+	setup := quickSetup()
+	dedicated, err := Run(Spec{Setup: setup, Pattern: scenario.PatternII, Factory: setup.UtilBP(), DurationSec: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Run(Spec{Setup: setup, Pattern: scenario.PatternII, Factory: setup.UtilBP(), DurationSec: 800, MixedLanes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HOL blocking can only hurt: mixed lanes should not beat dedicated
+	// lanes.
+	if mixed.Summary.MeanWait < dedicated.Summary.MeanWait*0.95 {
+		t.Errorf("mixed lanes (%.1f) suspiciously better than dedicated (%.1f)",
+			mixed.Summary.MeanWait, dedicated.Summary.MeanWait)
+	}
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"utilbp/internal/analysis"
+	"utilbp/internal/scenario"
+)
+
+// SeedStats aggregates one Table III row over multiple seeds.
+type SeedStats struct {
+	Pattern scenario.Pattern
+	// Improvements are per-seed improvement percentages; Mean and Std
+	// summarize them.
+	Improvements []float64
+	Mean, Std    float64
+	// Wins counts seeds where UTIL-BP beat CAP-BP's best period.
+	Wins int
+}
+
+// TableIIIMultiSeed runs the Table III comparison across seeds and
+// aggregates the improvement distribution per pattern. Seeds run in
+// parallel (each TableIII call already parallelizes its own sweep, so
+// the pattern loop here stays serial to bound concurrency).
+func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: at least one seed required")
+	}
+	if patterns == nil {
+		patterns = scenario.AllPatterns
+	}
+	out := make([]SeedStats, 0, len(patterns))
+	for _, pat := range patterns {
+		stats := SeedStats{Pattern: pat, Improvements: make([]float64, len(seeds))}
+		errs := make([]error, len(seeds))
+		var wg sync.WaitGroup
+		for si, seed := range seeds {
+			wg.Add(1)
+			go func(si int, seed uint64) {
+				defer wg.Done()
+				setup := base
+				setup.Seed = seed
+				rows, err := TableIII(setup, []scenario.Pattern{pat}, periods, durationSec)
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				stats.Improvements[si] = rows[0].ImprovementPct
+			}(si, seed)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, imp := range stats.Improvements {
+			if imp > 0 {
+				stats.Wins++
+			}
+		}
+		stats.Mean = analysis.Mean(stats.Improvements)
+		stats.Std = analysis.Std(stats.Improvements)
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+// FormatSeedStats renders the multi-seed table.
+func FormatSeedStats(rows []SeedStats, seeds []uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UTIL-BP improvement over best-period CAP-BP, %d seeds\n", len(seeds))
+	fmt.Fprintf(&b, "%-8s %-18s %s\n", "Pattern", "mean ± std", "wins")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-18s %d/%d\n",
+			r.Pattern.String(),
+			fmt.Sprintf("%+.1f%% ± %.1f%%", r.Mean, r.Std),
+			r.Wins, len(r.Improvements))
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"utilbp/internal/scenario"
+)
+
+func TestTableIIIMultiSeed(t *testing.T) {
+	setup := quickSetup()
+	seeds := []uint64{1, 2, 3}
+	rows, err := TableIIIMultiSeed(setup, []scenario.Pattern{scenario.PatternIV}, []int{18, 30}, 900, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if len(r.Improvements) != 3 {
+		t.Fatalf("improvements = %v", r.Improvements)
+	}
+	if r.Wins < 0 || r.Wins > 3 {
+		t.Fatalf("wins = %d", r.Wins)
+	}
+	if r.Std < 0 {
+		t.Fatalf("std = %v", r.Std)
+	}
+	// Per-seed values must differ (different arrival realizations).
+	if r.Improvements[0] == r.Improvements[1] && r.Improvements[1] == r.Improvements[2] {
+		t.Error("all seeds produced identical improvements")
+	}
+	text := FormatSeedStats(rows, seeds)
+	if !strings.Contains(text, "IV") || !strings.Contains(text, "3 seeds") {
+		t.Errorf("format: %q", text)
+	}
+}
+
+func TestTableIIIMultiSeedRequiresSeeds(t *testing.T) {
+	if _, err := TableIIIMultiSeed(quickSetup(), nil, []int{20}, 300, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package fixedtime
+
+import (
+	"testing"
+
+	"utilbp/internal/signal"
+)
+
+func info4() signal.JunctionInfo {
+	return signal.JunctionInfo{
+		Label:    "J",
+		NumLinks: 4,
+		Phases:   [][]int{{0}, {1}, {2}, {3}},
+		DeltaT:   1,
+	}
+}
+
+func TestCycle(t *testing.T) {
+	c, err := New(info4(), Options{GreenSteps: 3, AmberSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []signal.Phase{
+		1, 1, 1, 0, 0,
+		2, 2, 2, 0, 0,
+		3, 3, 3, 0, 0,
+		4, 4, 4, 0, 0,
+		1, 1, // wraps around
+	}
+	for step, w := range want {
+		obs := &signal.Obs{Step: step}
+		if got := c.Decide(obs); got != w {
+			t.Fatalf("step %d: got %v want %v", step, got, w)
+		}
+	}
+}
+
+func TestNoAmber(t *testing.T) {
+	c, err := New(info4(), Options{GreenSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 16; step++ {
+		if got := c.Decide(&signal.Obs{Step: step}); got == signal.Amber {
+			t.Fatalf("step %d produced amber with AmberSteps=0", step)
+		}
+	}
+}
+
+func TestOffsetStaggers(t *testing.T) {
+	a, _ := New(info4(), Options{GreenSteps: 4, AmberSteps: 1})
+	b, _ := New(info4(), Options{GreenSteps: 4, AmberSteps: 1, Offset: 5})
+	// b at step 0 behaves like a at step 5.
+	if got, want := b.Decide(&signal.Obs{Step: 0}), a.Decide(&signal.Obs{Step: 5}); got != want {
+		t.Fatalf("offset: got %v want %v", got, want)
+	}
+}
+
+func TestAllPhasesGetEqualGreen(t *testing.T) {
+	c, _ := New(info4(), Options{GreenSteps: 7, AmberSteps: 3})
+	counts := map[signal.Phase]int{}
+	cycle := (7 + 3) * 4
+	for step := 0; step < cycle*5; step++ {
+		counts[c.Decide(&signal.Obs{Step: step})]++
+	}
+	for p := signal.Phase(1); p <= 4; p++ {
+		if counts[p] != 7*5 {
+			t.Errorf("phase %v green steps = %d, want %d", p, counts[p], 7*5)
+		}
+	}
+	if counts[signal.Amber] != 3*4*5 {
+		t.Errorf("amber steps = %d, want %d", counts[signal.Amber], 3*4*5)
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, err := New(info4(), Options{GreenSteps: 0}); err == nil {
+		t.Error("GreenSteps=0 accepted")
+	}
+	if _, err := New(info4(), Options{GreenSteps: 3, AmberSteps: -1}); err == nil {
+		t.Error("negative AmberSteps accepted")
+	}
+	bad := info4()
+	bad.Phases = nil
+	if _, err := New(bad, Options{GreenSteps: 3}); err == nil {
+		t.Error("invalid junction info accepted")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory(Options{GreenSteps: 2, AmberSteps: 1})
+	if f.Name() != "FIXED" {
+		t.Errorf("factory name %q", f.Name())
+	}
+	c, err := f.New(info4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "FIXED" {
+		t.Errorf("controller name %q", c.Name())
+	}
+}

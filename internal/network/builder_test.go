@@ -1,0 +1,210 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildT builds a T-junction: approaches from north, south and west only
+// (no east arm at all).
+func buildT(t *testing.T) (*Network, NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	j := b.AddNode(JunctionNode, 0, 0, "J")
+	tn := b.AddNode(TerminalNode, 0, -100, "N")
+	ts := b.AddNode(TerminalNode, 0, 100, "S")
+	tw := b.AddNode(TerminalNode, -100, 0, "W")
+	for _, pair := range []struct {
+		term NodeID
+		side Dir
+	}{{tn, North}, {ts, South}, {tw, West}} {
+		b.AddRoad(pair.term, j, pair.side.Opposite(), 100, 10, 50, "in-"+pair.side.String())
+		b.AddRoad(j, pair.term, pair.side, 100, 10, 0, "out-"+pair.side.String())
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return n, j
+}
+
+func TestBuilderTJunction(t *testing.T) {
+	n, jid := buildT(t)
+	j := n.Junction(jid)
+	if j == nil {
+		t.Fatal("junction record missing")
+	}
+	if j.In[East] != NoRoad || j.Out[East] != NoRoad {
+		t.Error("phantom east arm")
+	}
+	// Feasible links: from north (heading south): left->east (absent),
+	// straight->south, right->west = 2. From south (heading north):
+	// left->west, straight->north, right->east (absent) = 2. From west
+	// (heading east): left->north, straight->east (absent), right->south
+	// = 2. Total 6.
+	if got := len(j.Links); got != 6 {
+		t.Fatalf("T-junction links = %d, want 6", got)
+	}
+	// All four Figure-1 phases survive but some shrink:
+	// c1 (N/S straight+left): N-straight, S-straight, S-left = 3 links.
+	// c2 (N/S right): N-right = 1 link.
+	// c3 (E/W straight+left): W-left = 1 link.
+	// c4 (E/W right): W-right = 1 link.
+	sizes := []int{3, 1, 1, 1}
+	if got := j.NumPhases(); got != len(sizes) {
+		t.Fatalf("T-junction phases = %d, want %d", got, len(sizes))
+	}
+	for pi, p := range j.Phases {
+		if len(p) != sizes[pi] {
+			t.Errorf("phase %d size = %d, want %d", pi+1, len(p), sizes[pi])
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderRejectsDuplicateApproach(t *testing.T) {
+	b := NewBuilder()
+	j := b.AddNode(JunctionNode, 0, 0, "J")
+	t1 := b.AddNode(TerminalNode, 0, -100, "T1")
+	t2 := b.AddNode(TerminalNode, 0, -200, "T2")
+	b.AddRoad(t1, j, South, 100, 10, 50, "a")
+	b.AddRoad(t2, j, South, 100, 10, 50, "b") // second approach from north
+	b.AddRoad(j, t1, North, 100, 10, 0, "c")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate approach accepted")
+	} else if !strings.Contains(err.Error(), "two approaches") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBuilderRejectsMissingNode(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode(JunctionNode, 0, 0, "J")
+	b.AddRoad(n, n+5, North, 100, 10, 50, "dangling")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("dangling road accepted")
+	}
+}
+
+func TestBuilderRejectsInvalidHeading(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(TerminalNode, 0, 0, "A")
+	c := b.AddNode(TerminalNode, 0, 100, "C")
+	b.AddRoad(a, c, Dir(9), 100, 10, 50, "bad")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid heading accepted")
+	}
+}
+
+func TestBuilderRejectsIsolatedJunction(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode(JunctionNode, 0, 0, "J")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("junction without links accepted")
+	}
+}
+
+func TestBuilderCustomMu(t *testing.T) {
+	b := NewBuilder().SetMu(func(a Dir, turn Turn) float64 {
+		if turn == Straight {
+			return 2
+		}
+		return 0.5
+	})
+	j := b.AddNode(JunctionNode, 0, 0, "J")
+	for _, side := range Dirs {
+		dx, dy := side.Vector()
+		term := b.AddNode(TerminalNode, float64(dx)*100, float64(dy)*100, "T"+side.String())
+		b.AddRoad(term, j, side.Opposite(), 100, 10, 50, "in")
+		b.AddRoad(j, term, side, 100, 10, 0, "out")
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, l := range n.Junction(j).Links {
+		want := 0.5
+		if l.Turn == Straight {
+			want = 2
+		}
+		if l.Mu != want {
+			t.Errorf("link %v/%v mu = %v, want %v", l.Approach, l.Turn, l.Mu, want)
+		}
+	}
+	// SetMu(nil) restores the default.
+	if rate := NewBuilder().SetMu(nil).mu(North, Left); rate != 1 {
+		t.Errorf("nil MuFunc rate = %v, want 1", rate)
+	}
+}
+
+func TestRoadTravelTime(t *testing.T) {
+	r := Road{Length: 300, SpeedLimit: 15}
+	if got := r.TravelTime(); got != 20 {
+		t.Errorf("TravelTime = %v, want 20", got)
+	}
+	short := Road{Length: 5, SpeedLimit: 15}
+	if got := short.TravelTime(); got != 1 {
+		t.Errorf("short road TravelTime = %v, want clamp to 1", got)
+	}
+	degenerate := Road{}
+	if got := degenerate.TravelTime(); got != 1 {
+		t.Errorf("degenerate TravelTime = %v, want 1", got)
+	}
+}
+
+func TestRoadHasRoom(t *testing.T) {
+	bounded := Road{Capacity: 2}
+	if !bounded.HasRoom(0) || !bounded.HasRoom(1) {
+		t.Error("bounded road should have room below capacity")
+	}
+	if bounded.HasRoom(2) || bounded.HasRoom(3) {
+		t.Error("bounded road should be full at capacity")
+	}
+	sink := Road{Capacity: 0}
+	if !sink.HasRoom(1 << 20) {
+		t.Error("unbounded road should always have room")
+	}
+}
+
+func TestJunctionLookups(t *testing.T) {
+	n, jid := buildT(t)
+	j := n.Junction(jid)
+	// LinkBetween for an existing movement.
+	in := j.In[North]
+	out := j.Out[South]
+	if idx := j.LinkBetween(in, out); idx < 0 {
+		t.Error("LinkBetween missed north-straight")
+	} else if l := j.Links[idx]; l.Turn != Straight || l.Approach != North {
+		t.Errorf("north-straight resolved to %v/%v", l.Approach, l.Turn)
+	}
+	if idx := j.LinkBetween(in, in); idx != -1 {
+		t.Error("LinkBetween invented a link")
+	}
+	if idx := j.LinkFor(East, Straight); idx != -1 {
+		t.Error("LinkFor found a link on the missing arm")
+	}
+}
+
+func TestNetworkLookupsOutOfRange(t *testing.T) {
+	n, jid := buildT(t)
+	if n.Node(-1) != nil || n.Node(NodeID(len(n.Nodes))) != nil {
+		t.Error("Node out-of-range should be nil")
+	}
+	if n.Road(-1) != nil || n.Road(RoadID(len(n.Roads))) != nil {
+		t.Error("Road out-of-range should be nil")
+	}
+	if n.Junction(NodeID(len(n.Nodes))) != nil {
+		t.Error("Junction out-of-range should be nil")
+	}
+	if n.Junction(jid) == nil {
+		t.Error("existing junction not found")
+	}
+	if got := len(n.RoadsInto(jid)); got != 3 {
+		t.Errorf("RoadsInto = %d, want 3", got)
+	}
+	if got := len(n.RoadsOutOf(jid)); got != 3 {
+		t.Errorf("RoadsOutOf = %d, want 3", got)
+	}
+}

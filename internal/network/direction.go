@@ -1,0 +1,131 @@
+// Package network models signalized road networks as directed graphs, the
+// formalism of Section II of the paper: nodes are roads participating in
+// the traffic flow through a junction, connected by feasible links that a
+// controller can activate in compatible groups called control phases.
+//
+// The package provides the compass/turn geometry, road and junction
+// records, the four-phase table of the paper's Figure 1, a general network
+// builder, and a rectangular-grid generator for the 3×3 evaluation network.
+package network
+
+import "fmt"
+
+// Dir is a compass direction. It is used both for the side of a junction an
+// approach comes from and for a vehicle's heading of travel.
+type Dir uint8
+
+// The four compass directions. Grid coordinates put row 0 at the north and
+// column 0 at the west, so North is -y and East is +x.
+const (
+	North Dir = iota
+	East
+	South
+	West
+	numDirs = 4
+)
+
+// Dirs lists all directions in a stable order, convenient for iteration.
+var Dirs = [numDirs]Dir{North, East, South, West}
+
+// String returns the direction name.
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "north"
+	case East:
+		return "east"
+	case South:
+		return "south"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// Valid reports whether d is one of the four compass directions.
+func (d Dir) Valid() bool { return d < numDirs }
+
+// Opposite returns the direction rotated by 180 degrees.
+func (d Dir) Opposite() Dir { return (d + 2) % numDirs }
+
+// CW returns the direction rotated clockwise by 90 degrees.
+func (d Dir) CW() Dir { return (d + 1) % numDirs }
+
+// CCW returns the direction rotated counter-clockwise by 90 degrees.
+func (d Dir) CCW() Dir { return (d + 3) % numDirs }
+
+// Vector returns the unit grid step for the direction, with y growing
+// southward (row index) and x growing eastward (column index).
+func (d Dir) Vector() (dx, dy int) {
+	switch d {
+	case North:
+		return 0, -1
+	case East:
+		return 1, 0
+	case South:
+		return 0, 1
+	default:
+		return -1, 0
+	}
+}
+
+// Turn identifies a movement through a junction relative to the vehicle's
+// heading, following right-hand traffic: for a vehicle heading south, East
+// is to its left.
+type Turn uint8
+
+// The three movements of a dedicated-turning-lane approach.
+const (
+	Left Turn = iota
+	Straight
+	Right
+	numTurns = 3
+)
+
+// Turns lists all movements in a stable order.
+var Turns = [numTurns]Turn{Left, Straight, Right}
+
+// String returns the movement name.
+func (t Turn) String() string {
+	switch t {
+	case Left:
+		return "left"
+	case Straight:
+		return "straight"
+	case Right:
+		return "right"
+	}
+	return fmt.Sprintf("Turn(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the three movements.
+func (t Turn) Valid() bool { return t < numTurns }
+
+// Apply returns the heading after making turn t while travelling in
+// heading d. A left turn from heading south yields east.
+func (d Dir) Apply(t Turn) Dir {
+	switch t {
+	case Left:
+		return d.CCW()
+	case Right:
+		return d.CW()
+	default:
+		return d
+	}
+}
+
+// TurnBetween returns the movement that takes heading in to heading out.
+// The second result is false for a U-turn (out opposite of in), which the
+// junction model does not permit.
+func TurnBetween(in, out Dir) (Turn, bool) {
+	switch out {
+	case in:
+		return Straight, true
+	case in.CCW():
+		return Left, true
+	case in.CW():
+		return Right, true
+	default:
+		return Straight, false
+	}
+}

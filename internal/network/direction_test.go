@@ -1,0 +1,89 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirOpposite(t *testing.T) {
+	want := map[Dir]Dir{North: South, South: North, East: West, West: East}
+	for d, o := range want {
+		if d.Opposite() != o {
+			t.Errorf("%v.Opposite() = %v, want %v", d, d.Opposite(), o)
+		}
+	}
+}
+
+func TestDirRotationsInvertEachOther(t *testing.T) {
+	f := func(raw uint8) bool {
+		d := Dir(raw % numDirs)
+		return d.CW().CCW() == d && d.CCW().CW() == d && d.Opposite().Opposite() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirVectorUnit(t *testing.T) {
+	for _, d := range Dirs {
+		dx, dy := d.Vector()
+		if dx*dx+dy*dy != 1 {
+			t.Errorf("%v.Vector() = (%d,%d) not unit", d, dx, dy)
+		}
+		ox, oy := d.Opposite().Vector()
+		if dx != -ox || dy != -oy {
+			t.Errorf("%v vector not opposite of %v", d, d.Opposite())
+		}
+	}
+}
+
+func TestApplyTurnGeometry(t *testing.T) {
+	// A vehicle heading south (entered from the north): left exit is
+	// east, right exit is west — the Figure 1 example (L_1^6 is a left
+	// turn onto the east outgoing road).
+	if got := South.Apply(Left); got != East {
+		t.Errorf("South.Apply(Left) = %v, want East", got)
+	}
+	if got := South.Apply(Right); got != West {
+		t.Errorf("South.Apply(Right) = %v, want West", got)
+	}
+	if got := South.Apply(Straight); got != South {
+		t.Errorf("South.Apply(Straight) = %v, want South", got)
+	}
+}
+
+func TestTurnBetweenRoundTrip(t *testing.T) {
+	f := func(rawDir, rawTurn uint8) bool {
+		d := Dir(rawDir % numDirs)
+		turn := Turn(rawTurn % numTurns)
+		out := d.Apply(turn)
+		got, ok := TurnBetween(d, out)
+		return ok && got == turn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTurnBetweenRejectsUTurn(t *testing.T) {
+	for _, d := range Dirs {
+		if _, ok := TurnBetween(d, d.Opposite()); ok {
+			t.Errorf("TurnBetween(%v, %v) accepted a U-turn", d, d.Opposite())
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if North.String() != "north" || West.String() != "west" {
+		t.Error("direction names wrong")
+	}
+	if Left.String() != "left" || Straight.String() != "straight" || Right.String() != "right" {
+		t.Error("turn names wrong")
+	}
+	if Dir(9).String() == "" || Turn(9).String() == "" {
+		t.Error("out-of-range values should still print")
+	}
+	if Dir(9).Valid() || Turn(9).Valid() {
+		t.Error("out-of-range values reported valid")
+	}
+}

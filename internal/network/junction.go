@@ -1,0 +1,173 @@
+package network
+
+import "fmt"
+
+// Link is a feasible movement L_i^{i'} through a junction, from incoming
+// road In to outgoing road Out. Links are the unit the controller
+// activates; each dedicated turning lane queues for exactly one link.
+type Link struct {
+	// Index of the link within its junction's Links slice.
+	Index int
+	In    RoadID
+	Out   RoadID
+	// Approach is the side of the junction the incoming road arrives
+	// from; Turn is the movement relative to the vehicle heading.
+	Approach Dir
+	Turn     Turn
+	// Mu is the full service rate µ_i^{i'} in vehicles per second: the
+	// maximum number of vehicles served in Δt is µ·Δt (Section II-C).
+	Mu float64
+}
+
+// Phase is a control phase c_j: the set of compatible links activated
+// together, stored as indexes into the junction's Links slice. Phase
+// identifiers exposed to controllers are 1-based; 0 is the amber
+// transition phase c0 during which no link is active.
+type Phase []int
+
+// Junction is a signalized intersection: up to four approaches with
+// dedicated turning lanes, a feasible-link table, and a phase table.
+type Junction struct {
+	Node NodeID
+	// In[d] is the incoming road arriving from side d (its heading is
+	// d.Opposite()); Out[d] is the outgoing road leaving toward side d.
+	// Absent approaches hold NoRoad.
+	In  [numDirs]RoadID
+	Out [numDirs]RoadID
+	// Links are the feasible movements; Phases groups them into control
+	// phases following the paper's Figure 1.
+	Links  []Link
+	Phases []Phase
+}
+
+// NumPhases returns the number of control phases (excluding amber).
+func (j *Junction) NumPhases() int { return len(j.Phases) }
+
+// LinkBetween returns the index of the link from road in to road out, or
+// -1 if no such feasible link exists.
+func (j *Junction) LinkBetween(in, out RoadID) int {
+	for i := range j.Links {
+		if j.Links[i].In == in && j.Links[i].Out == out {
+			return i
+		}
+	}
+	return -1
+}
+
+// LinkFor returns the index of the link from approach side a making
+// movement t, or -1 if absent.
+func (j *Junction) LinkFor(a Dir, t Turn) int {
+	for i := range j.Links {
+		if j.Links[i].Approach == a && j.Links[i].Turn == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildLinks populates the feasible-link table from the approach arrays:
+// one link per (existing approach, movement) pair whose destination road
+// exists. U-turns are not generated.
+func (j *Junction) buildLinks(mu func(approach Dir, t Turn) float64) {
+	j.Links = j.Links[:0]
+	for _, a := range Dirs {
+		if j.In[a] == NoRoad {
+			continue
+		}
+		heading := a.Opposite()
+		for _, t := range Turns {
+			outSide := heading.Apply(t)
+			if j.Out[outSide] == NoRoad {
+				continue
+			}
+			j.Links = append(j.Links, Link{
+				Index:    len(j.Links),
+				In:       j.In[a],
+				Out:      j.Out[outSide],
+				Approach: a,
+				Turn:     t,
+				Mu:       mu(a, t),
+			})
+		}
+	}
+}
+
+// fourPhaseSpec mirrors the phase table of the paper's Figure 1:
+// c1 = north/south straight+left, c2 = north/south right,
+// c3 = east/west straight+left, c4 = east/west right.
+var fourPhaseSpec = []struct {
+	approaches [2]Dir
+	turns      []Turn
+}{
+	{[2]Dir{North, South}, []Turn{Straight, Left}},
+	{[2]Dir{North, South}, []Turn{Right}},
+	{[2]Dir{East, West}, []Turn{Straight, Left}},
+	{[2]Dir{East, West}, []Turn{Right}},
+}
+
+// buildFourPhases populates the phase table per Figure 1, dropping phases
+// that end up empty because an approach or destination is absent.
+func (j *Junction) buildFourPhases() {
+	j.Phases = j.Phases[:0]
+	for _, spec := range fourPhaseSpec {
+		var p Phase
+		for _, a := range spec.approaches {
+			for _, t := range spec.turns {
+				if idx := j.LinkFor(a, t); idx >= 0 {
+					p = append(p, idx)
+				}
+			}
+		}
+		if len(p) > 0 {
+			j.Phases = append(j.Phases, p)
+		}
+	}
+}
+
+// validate checks internal consistency of the junction against the road
+// table. It is called from Network.Validate.
+func (j *Junction) validate(roads []Road) error {
+	seen := make(map[[2]RoadID]bool)
+	for i, l := range j.Links {
+		if l.Index != i {
+			return fmt.Errorf("junction %d: link %d has index %d", j.Node, i, l.Index)
+		}
+		if l.In == NoRoad || l.Out == NoRoad {
+			return fmt.Errorf("junction %d: link %d references absent road", j.Node, i)
+		}
+		if int(l.In) >= len(roads) || int(l.Out) >= len(roads) || l.In < 0 || l.Out < 0 {
+			return fmt.Errorf("junction %d: link %d road out of range", j.Node, i)
+		}
+		if roads[l.In].To != j.Node {
+			return fmt.Errorf("junction %d: link %d incoming road %d does not end here", j.Node, i, l.In)
+		}
+		if roads[l.Out].From != j.Node {
+			return fmt.Errorf("junction %d: link %d outgoing road %d does not start here", j.Node, i, l.Out)
+		}
+		if l.Mu <= 0 {
+			return fmt.Errorf("junction %d: link %d has non-positive service rate", j.Node, i)
+		}
+		key := [2]RoadID{l.In, l.Out}
+		if seen[key] {
+			return fmt.Errorf("junction %d: duplicate link %d->%d", j.Node, l.In, l.Out)
+		}
+		seen[key] = true
+	}
+	for pi, p := range j.Phases {
+		if len(p) == 0 {
+			return fmt.Errorf("junction %d: phase %d is empty", j.Node, pi+1)
+		}
+		lanes := make(map[[2]int]bool)
+		for _, li := range p {
+			if li < 0 || li >= len(j.Links) {
+				return fmt.Errorf("junction %d: phase %d references link %d", j.Node, pi+1, li)
+			}
+			lane := [2]int{int(j.Links[li].Approach), int(j.Links[li].Turn)}
+			if lanes[lane] {
+				return fmt.Errorf("junction %d: phase %d activates lane %v twice", j.Node, pi+1, lane)
+			}
+			lanes[lane] = true
+		}
+	}
+	return nil
+}

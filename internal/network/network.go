@@ -1,0 +1,281 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Network is an immutable road network: nodes, directed roads, and the
+// junction records (approaches, feasible links, phase tables) derived from
+// them. Construct one with a Builder or with Grid.
+type Network struct {
+	Nodes     []Node
+	Roads     []Road
+	Junctions []Junction
+
+	junctionIdx map[NodeID]int
+	// inRoads / outRoads index roads by endpoint for routing and
+	// validation.
+	inRoads  map[NodeID][]RoadID
+	outRoads map[NodeID][]RoadID
+}
+
+// Node returns the node with the given ID, or nil when out of range.
+func (n *Network) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(n.Nodes) {
+		return nil
+	}
+	return &n.Nodes[id]
+}
+
+// Road returns the road with the given ID, or nil when out of range.
+func (n *Network) Road(id RoadID) *Road {
+	if id < 0 || int(id) >= len(n.Roads) {
+		return nil
+	}
+	return &n.Roads[id]
+}
+
+// Junction returns the junction record at the given node, or nil when the
+// node is not a junction.
+func (n *Network) Junction(id NodeID) *Junction {
+	idx, ok := n.junctionIdx[id]
+	if !ok {
+		return nil
+	}
+	return &n.Junctions[idx]
+}
+
+// RoadsInto returns the IDs of roads ending at the given node.
+func (n *Network) RoadsInto(id NodeID) []RoadID { return n.inRoads[id] }
+
+// RoadsOutOf returns the IDs of roads starting at the given node.
+func (n *Network) RoadsOutOf(id NodeID) []RoadID { return n.outRoads[id] }
+
+// EntryRoads returns the roads whose origin is a terminal node: the points
+// where exogenous traffic enters the network.
+func (n *Network) EntryRoads() []RoadID {
+	var out []RoadID
+	for i := range n.Roads {
+		if n.Nodes[n.Roads[i].From].Kind == TerminalNode {
+			out = append(out, n.Roads[i].ID)
+		}
+	}
+	return out
+}
+
+// ExitRoads returns the roads whose destination is a terminal node.
+func (n *Network) ExitRoads() []RoadID {
+	var out []RoadID
+	for i := range n.Roads {
+		if n.Nodes[n.Roads[i].To].Kind == TerminalNode {
+			out = append(out, n.Roads[i].ID)
+		}
+	}
+	return out
+}
+
+// MaxCapacity returns W* = max over bounded roads of the road capacity, the
+// constant added to the pressure difference in the paper's eq. (6)/(7).
+// It returns 0 when no road is bounded.
+func (n *Network) MaxCapacity() int {
+	w := 0
+	for i := range n.Roads {
+		if n.Roads[i].Capacity > w {
+			w = n.Roads[i].Capacity
+		}
+	}
+	return w
+}
+
+// reindex rebuilds the lookup maps. It must be called after the node, road
+// and junction slices are final.
+func (n *Network) reindex() {
+	n.junctionIdx = make(map[NodeID]int, len(n.Junctions))
+	for i := range n.Junctions {
+		n.junctionIdx[n.Junctions[i].Node] = i
+	}
+	n.inRoads = make(map[NodeID][]RoadID)
+	n.outRoads = make(map[NodeID][]RoadID)
+	for i := range n.Roads {
+		r := &n.Roads[i]
+		n.inRoads[r.To] = append(n.inRoads[r.To], r.ID)
+		n.outRoads[r.From] = append(n.outRoads[r.From], r.ID)
+	}
+}
+
+// Validate checks structural consistency: ID ordering, road endpoints,
+// junction approach tables, link tables and phase tables. A network built
+// by Builder.Build or Grid has already been validated.
+func (n *Network) Validate() error {
+	for i := range n.Nodes {
+		if n.Nodes[i].ID != NodeID(i) {
+			return fmt.Errorf("network: node %d has ID %d", i, n.Nodes[i].ID)
+		}
+	}
+	for i := range n.Roads {
+		r := &n.Roads[i]
+		if r.ID != RoadID(i) {
+			return fmt.Errorf("network: road %d has ID %d", i, r.ID)
+		}
+		if n.Node(r.From) == nil || n.Node(r.To) == nil {
+			return fmt.Errorf("network: road %d references missing node", i)
+		}
+		if r.From == r.To {
+			return fmt.Errorf("network: road %d is a self-loop", i)
+		}
+		if !r.Heading.Valid() {
+			return fmt.Errorf("network: road %d has invalid heading", i)
+		}
+	}
+	for i := range n.Junctions {
+		j := &n.Junctions[i]
+		node := n.Node(j.Node)
+		if node == nil || node.Kind != JunctionNode {
+			return fmt.Errorf("network: junction %d not backed by a junction node", i)
+		}
+		for _, d := range Dirs {
+			if in := j.In[d]; in != NoRoad {
+				r := n.Road(in)
+				if r == nil || r.To != j.Node {
+					return fmt.Errorf("network: junction %d approach %v inconsistent", j.Node, d)
+				}
+				if r.Heading != d.Opposite() {
+					return fmt.Errorf("network: junction %d approach %v heading %v", j.Node, d, r.Heading)
+				}
+			}
+			if out := j.Out[d]; out != NoRoad {
+				r := n.Road(out)
+				if r == nil || r.From != j.Node {
+					return fmt.Errorf("network: junction %d exit %v inconsistent", j.Node, d)
+				}
+				if r.Heading != d {
+					return fmt.Errorf("network: junction %d exit %v heading %v", j.Node, d, r.Heading)
+				}
+			}
+		}
+		if err := j.validate(n.Roads); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MuFunc assigns the service rate µ_i^{i'} to a movement. The builder calls
+// it once per generated link.
+type MuFunc func(approach Dir, turn Turn) float64
+
+// ConstantMu returns a MuFunc assigning the same rate to every movement.
+func ConstantMu(mu float64) MuFunc {
+	return func(Dir, Turn) float64 { return mu }
+}
+
+// Builder assembles a Network incrementally. The zero value is not usable;
+// call NewBuilder.
+type Builder struct {
+	nodes []Node
+	roads []Road
+	mu    MuFunc
+	err   error
+}
+
+// NewBuilder returns an empty Builder with unit service rates.
+func NewBuilder() *Builder {
+	return &Builder{mu: ConstantMu(1)}
+}
+
+// SetMu installs the service-rate assignment used for links generated at
+// Build time. Passing nil restores the unit-rate default.
+func (b *Builder) SetMu(mu MuFunc) *Builder {
+	if mu == nil {
+		mu = ConstantMu(1)
+	}
+	b.mu = mu
+	return b
+}
+
+// AddNode appends a node and returns its ID.
+func (b *Builder) AddNode(kind NodeKind, x, y float64, name string) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Kind: kind, X: x, Y: y, Name: name})
+	return id
+}
+
+// AddRoad appends a directed road and returns its ID. Errors (bad nodes,
+// invalid heading) are deferred to Build so call sites stay simple.
+func (b *Builder) AddRoad(from, to NodeID, heading Dir, length, speed float64, capacity int, name string) RoadID {
+	id := RoadID(len(b.roads))
+	if from < 0 || int(from) >= len(b.nodes) || to < 0 || int(to) >= len(b.nodes) {
+		b.fail(fmt.Errorf("network: road %q references missing node", name))
+	}
+	if !heading.Valid() {
+		b.fail(fmt.Errorf("network: road %q has invalid heading", name))
+	}
+	b.roads = append(b.roads, Road{
+		ID: id, From: from, To: to, Heading: heading,
+		Length: length, SpeedLimit: speed, Capacity: capacity, Name: name,
+	})
+	return id
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build assembles the junctions (approach tables from road headings, link
+// tables, Figure-1 phase tables), validates, and returns the Network.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := &Network{
+		Nodes: append([]Node(nil), b.nodes...),
+		Roads: append([]Road(nil), b.roads...),
+	}
+	for i := range n.Nodes {
+		if n.Nodes[i].Kind != JunctionNode {
+			continue
+		}
+		j := Junction{Node: n.Nodes[i].ID}
+		for d := range j.In {
+			j.In[d] = NoRoad
+			j.Out[d] = NoRoad
+		}
+		n.Junctions = append(n.Junctions, j)
+	}
+	n.reindex()
+	for ri := range n.Roads {
+		r := &n.Roads[ri]
+		if to := n.Junction(r.To); to != nil {
+			side := r.Heading.Opposite()
+			if to.In[side] != NoRoad {
+				return nil, fmt.Errorf("network: junction %d has two approaches from %v", r.To, side)
+			}
+			to.In[side] = r.ID
+		}
+		if from := n.Junction(r.From); from != nil {
+			side := r.Heading
+			if from.Out[side] != NoRoad {
+				return nil, fmt.Errorf("network: junction %d has two exits toward %v", r.From, side)
+			}
+			from.Out[side] = r.ID
+		}
+	}
+	for i := range n.Junctions {
+		j := &n.Junctions[i]
+		j.buildLinks(b.mu)
+		j.buildFourPhases()
+		if len(j.Links) == 0 {
+			return nil, fmt.Errorf("network: junction %d has no feasible links", j.Node)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ErrNotFound is returned by lookup helpers when an element is absent.
+var ErrNotFound = errors.New("network: not found")

@@ -1,0 +1,91 @@
+package network
+
+import "fmt"
+
+// NodeID identifies a node (junction or boundary terminal) in a network.
+type NodeID int
+
+// RoadID identifies a directed road in a network.
+type RoadID int
+
+// NoRoad marks an absent road slot, e.g. a junction approach that does not
+// exist in a non-grid topology.
+const NoRoad RoadID = -1
+
+// NoNode marks an absent node reference.
+const NoNode NodeID = -1
+
+// NodeKind distinguishes signalized junctions from boundary terminals where
+// vehicles enter and leave the network.
+type NodeKind uint8
+
+const (
+	// JunctionNode is a signalized intersection controlled by a phase
+	// controller.
+	JunctionNode NodeKind = iota
+	// TerminalNode is a boundary point: an exogenous source of arrivals
+	// and an infinite-capacity sink for departures.
+	TerminalNode
+)
+
+// String returns the node kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case JunctionNode:
+		return "junction"
+	case TerminalNode:
+		return "terminal"
+	}
+	return fmt.Sprintf("NodeKind(%d)", uint8(k))
+}
+
+// Node is a point of the network graph.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// X grows eastward and Y southward, so grid row r, column c sits at
+	// (c*spacing, r*spacing).
+	X, Y float64
+	Name string
+}
+
+// Road is a directed road segment. In the paper's queuing-network model a
+// road is simultaneously the outgoing road of its upstream junction and an
+// incoming road of its downstream junction.
+type Road struct {
+	ID      RoadID
+	From    NodeID
+	To      NodeID
+	Heading Dir
+	// Length in meters and SpeedLimit in m/s determine the free-flow
+	// travel time from entering the road to reaching the stop line.
+	Length     float64
+	SpeedLimit float64
+	// Capacity is W_i, the maximum number of vehicles the road can
+	// accommodate; once reached no further vehicle may enter (Section
+	// II-A). A non-positive capacity means unbounded (boundary exits).
+	Capacity int
+	Name     string
+}
+
+// TravelTime returns the free-flow traversal time of the road in seconds,
+// at least one second so a vehicle never crosses a road instantaneously.
+func (r *Road) TravelTime() float64 {
+	if r.Length <= 0 || r.SpeedLimit <= 0 {
+		return 1
+	}
+	t := r.Length / r.SpeedLimit
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// Bounded reports whether the road has a finite capacity.
+func (r *Road) Bounded() bool { return r.Capacity > 0 }
+
+// HasRoom reports whether a road with the given current occupancy can
+// accept one more vehicle.
+func (r *Road) HasRoom(occupancy int) bool {
+	return !r.Bounded() || occupancy < r.Capacity
+}

@@ -1,0 +1,53 @@
+package network
+
+import "fmt"
+
+// TurnPath computes the movement sequence a vehicle must make to travel
+// from the given entry road to the given exit road, using breadth-first
+// search over junction links (fewest junctions first). It enables
+// explicit vehicle.Path routes on arbitrary topologies where the grid
+// one-turn model does not apply.
+func (n *Network) TurnPath(entry, exit RoadID) ([]Turn, error) {
+	if n.Road(entry) == nil || n.Road(exit) == nil {
+		return nil, fmt.Errorf("network: TurnPath: unknown road")
+	}
+	if entry == exit {
+		return nil, nil
+	}
+	type state struct {
+		road RoadID
+		prev int // index into the visit list, -1 for the start
+		turn Turn
+	}
+	visits := []state{{road: entry, prev: -1}}
+	seen := map[RoadID]bool{entry: true}
+	for head := 0; head < len(visits); head++ {
+		cur := visits[head]
+		j := n.Junction(n.Road(cur.road).To)
+		if j == nil {
+			continue // road ends at a terminal
+		}
+		for li := range j.Links {
+			l := &j.Links[li]
+			if l.In != cur.road || seen[l.Out] {
+				continue
+			}
+			seen[l.Out] = true
+			visits = append(visits, state{road: l.Out, prev: head, turn: l.Turn})
+			if l.Out == exit {
+				// Reconstruct the turn sequence by walking the prev
+				// pointers back to the start state.
+				var rev []Turn
+				for idx := len(visits) - 1; visits[idx].prev != -1; idx = visits[idx].prev {
+					rev = append(rev, visits[idx].turn)
+				}
+				turns := make([]Turn, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					turns = append(turns, rev[i])
+				}
+				return turns, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("network: no path from road %d to road %d", entry, exit)
+}

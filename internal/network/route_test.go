@@ -1,0 +1,104 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTurnPathStraightThrough(t *testing.T) {
+	g := mustGrid(t, DefaultGridSpec())
+	// North entry column 0 straight through to the south exit column 0.
+	entry := g.Entries(North)[0]
+	exit := g.Exits(South)[0]
+	turns, err := g.TurnPath(entry, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 3 {
+		t.Fatalf("turns = %v, want 3 movements", turns)
+	}
+	for i, tr := range turns {
+		if tr != Straight {
+			t.Errorf("turn %d = %v, want straight", i, tr)
+		}
+	}
+}
+
+func TestTurnPathWithTurn(t *testing.T) {
+	g := mustGrid(t, DefaultGridSpec())
+	// North entry column 0 to east exit row 0: shortest is a left turn
+	// at the first junction then straight across.
+	entry := g.Entries(North)[0]
+	exit := g.Exits(East)[0]
+	turns, err := g.TurnPath(entry, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 3 {
+		t.Fatalf("turns = %v, want 3 movements", turns)
+	}
+	if turns[0] != Left || turns[1] != Straight || turns[2] != Straight {
+		t.Fatalf("turns = %v, want [left straight straight]", turns)
+	}
+}
+
+func TestTurnPathIdentityAndErrors(t *testing.T) {
+	g := mustGrid(t, DefaultGridSpec())
+	entry := g.Entries(North)[0]
+	if turns, err := g.TurnPath(entry, entry); err != nil || len(turns) != 0 {
+		t.Errorf("identity path = %v, %v", turns, err)
+	}
+	if _, err := g.TurnPath(RoadID(9999), entry); err == nil {
+		t.Error("unknown entry accepted")
+	}
+	if _, err := g.TurnPath(entry, RoadID(9999)); err == nil {
+		t.Error("unknown exit accepted")
+	}
+	// No path INTO an entry road (they start at terminals).
+	other := g.Entries(South)[0]
+	if _, err := g.TurnPath(entry, other); err == nil {
+		t.Error("path into a terminal-origin road accepted")
+	}
+}
+
+// TestTurnPathReachesEveryExit: from any entry, every exit road except
+// the entry's own U-turn twin is reachable, and replaying the returned
+// turns through the junction tables really ends at the exit.
+func TestTurnPathReachesEveryExit(t *testing.T) {
+	g := mustGrid(t, DefaultGridSpec())
+	entries := g.EntryRoads()
+	exits := g.ExitRoads()
+	f := func(ei, xi uint8) bool {
+		entry := entries[int(ei)%len(entries)]
+		exit := exits[int(xi)%len(exits)]
+		// The exit next to the entry terminal requires a U-turn, which
+		// the junction model forbids; skip that pair.
+		if g.Road(entry).From == g.Road(exit).To {
+			return true
+		}
+		turns, err := g.TurnPath(entry, exit)
+		if err != nil {
+			t.Logf("no path %d->%d: %v", entry, exit, err)
+			return false
+		}
+		// Replay.
+		cur := entry
+		for _, tr := range turns {
+			j := g.Junction(g.Road(cur).To)
+			if j == nil {
+				t.Logf("replay fell off the network at road %d", cur)
+				return false
+			}
+			li := j.LinkFor(g.Road(cur).Heading.Opposite(), tr)
+			if li < 0 {
+				t.Logf("replay: no link for %v at junction %d", tr, j.Node)
+				return false
+			}
+			cur = j.Links[li].Out
+		}
+		return cur == exit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

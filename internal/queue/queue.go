@@ -1,0 +1,129 @@
+// Package queue provides the FIFO primitives of the traffic model: the
+// dedicated turning-lane queue (vehicles waiting at a stop line with their
+// enqueue times) and a time-ordered heap for vehicles travelling along a
+// road toward it.
+package queue
+
+import "container/heap"
+
+// Item is one queued vehicle: its identifier and the time it joined the
+// queue, from which waiting time is computed at service.
+type Item struct {
+	Vehicle    int
+	EnqueuedAt float64
+}
+
+// Lane is a FIFO queue of vehicles. The zero value is an empty lane ready
+// to use. It is implemented as a slice with a moving head and periodic
+// compaction so sustained push/pop traffic does not grow memory without
+// bound.
+type Lane struct {
+	items []Item
+	head  int
+}
+
+// Len returns the number of queued vehicles.
+func (l *Lane) Len() int { return len(l.items) - l.head }
+
+// Push appends a vehicle to the tail of the lane.
+func (l *Lane) Push(vehicle int, at float64) {
+	l.items = append(l.items, Item{Vehicle: vehicle, EnqueuedAt: at})
+}
+
+// Pop removes and returns the head of the lane. The second result is false
+// when the lane is empty.
+func (l *Lane) Pop() (Item, bool) {
+	if l.head >= len(l.items) {
+		return Item{}, false
+	}
+	it := l.items[l.head]
+	l.items[l.head] = Item{}
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.items) {
+		n := copy(l.items, l.items[l.head:])
+		l.items = l.items[:n]
+		l.head = 0
+	}
+	return it, true
+}
+
+// Peek returns the head of the lane without removing it.
+func (l *Lane) Peek() (Item, bool) {
+	if l.head >= len(l.items) {
+		return Item{}, false
+	}
+	return l.items[l.head], true
+}
+
+// Items returns the queued items in order, head first. The returned slice
+// aliases internal storage and must not be retained across mutations; it
+// is intended for end-of-run accounting and assertions.
+func (l *Lane) Items() []Item { return l.items[l.head:] }
+
+// Reset empties the lane.
+func (l *Lane) Reset() {
+	l.items = l.items[:0]
+	l.head = 0
+}
+
+// Arrival is a vehicle in transit: it reaches the stop line (and joins a
+// lane) at time At. Seq breaks ties so equal arrival times dequeue in
+// insertion order, keeping simulations deterministic.
+type Arrival struct {
+	At      float64
+	Vehicle int
+	seq     int
+}
+
+// arrivalHeap implements container/heap ordering by (At, seq).
+type arrivalHeap []Arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(Arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Travel holds vehicles in transit along one road, ordered by stop-line
+// arrival time. The zero value is ready to use.
+type Travel struct {
+	h   arrivalHeap
+	seq int
+}
+
+// Len returns the number of vehicles in transit.
+func (t *Travel) Len() int { return len(t.h) }
+
+// Add schedules a vehicle to reach the stop line at time at.
+func (t *Travel) Add(vehicle int, at float64) {
+	t.seq++
+	heap.Push(&t.h, Arrival{At: at, Vehicle: vehicle, seq: t.seq})
+}
+
+// PopDue removes and returns the earliest vehicle whose arrival time is
+// at or before deadline. The second result is false when none is due.
+func (t *Travel) PopDue(deadline float64) (Arrival, bool) {
+	if len(t.h) == 0 || t.h[0].At > deadline {
+		return Arrival{}, false
+	}
+	return heap.Pop(&t.h).(Arrival), true
+}
+
+// Peek returns the earliest in-transit vehicle without removing it.
+func (t *Travel) Peek() (Arrival, bool) {
+	if len(t.h) == 0 {
+		return Arrival{}, false
+	}
+	return t.h[0], true
+}

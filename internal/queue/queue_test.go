@@ -1,0 +1,184 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaneFIFO(t *testing.T) {
+	var l Lane
+	for i := 0; i < 10; i++ {
+		l.Push(i, float64(i))
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for i := 0; i < 10; i++ {
+		it, ok := l.Pop()
+		if !ok || it.Vehicle != i || it.EnqueuedAt != float64(i) {
+			t.Fatalf("pop %d: %+v ok=%v", i, it, ok)
+		}
+	}
+	if _, ok := l.Pop(); ok {
+		t.Fatal("pop from empty lane succeeded")
+	}
+}
+
+func TestLanePeek(t *testing.T) {
+	var l Lane
+	if _, ok := l.Peek(); ok {
+		t.Fatal("peek on empty lane succeeded")
+	}
+	l.Push(7, 1.5)
+	it, ok := l.Peek()
+	if !ok || it.Vehicle != 7 {
+		t.Fatalf("peek: %+v ok=%v", it, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatal("peek consumed the item")
+	}
+}
+
+func TestLaneCompaction(t *testing.T) {
+	var l Lane
+	// Sustained push/pop traffic: memory must stay bounded via
+	// compaction, and FIFO order must be preserved throughout.
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 5; i++ {
+			l.Push(next, 0)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			it, ok := l.Pop()
+			if !ok || it.Vehicle != expect {
+				t.Fatalf("round %d: got %+v want vehicle %d", round, it, expect)
+			}
+			expect++
+		}
+	}
+	if cap(l.items) > 1024 {
+		t.Fatalf("lane storage grew to %d despite compaction", cap(l.items))
+	}
+}
+
+func TestLaneItemsAndReset(t *testing.T) {
+	var l Lane
+	l.Push(1, 0)
+	l.Push(2, 0)
+	l.Pop()
+	items := l.Items()
+	if len(items) != 1 || items[0].Vehicle != 2 {
+		t.Fatalf("Items = %+v", items)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not empty the lane")
+	}
+}
+
+func TestLanePropertyFIFO(t *testing.T) {
+	f := func(ops []bool) bool {
+		var l Lane
+		next, expect := 0, 0
+		for _, push := range ops {
+			if push {
+				l.Push(next, 0)
+				next++
+			} else if it, ok := l.Pop(); ok {
+				if it.Vehicle != expect {
+					return false
+				}
+				expect++
+			}
+			if l.Len() != next-expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTravelOrdering(t *testing.T) {
+	var tr Travel
+	tr.Add(1, 5)
+	tr.Add(2, 3)
+	tr.Add(3, 4)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	want := []int{2, 3, 1}
+	for _, w := range want {
+		a, ok := tr.PopDue(100)
+		if !ok || a.Vehicle != w {
+			t.Fatalf("got %+v, want vehicle %d", a, w)
+		}
+	}
+}
+
+func TestTravelDeadline(t *testing.T) {
+	var tr Travel
+	tr.Add(1, 10)
+	if _, ok := tr.PopDue(9.99); ok {
+		t.Fatal("popped a vehicle before its arrival time")
+	}
+	if a, ok := tr.PopDue(10); !ok || a.Vehicle != 1 {
+		t.Fatal("vehicle due exactly at deadline not popped")
+	}
+}
+
+func TestTravelTieBreakInsertionOrder(t *testing.T) {
+	var tr Travel
+	for i := 0; i < 20; i++ {
+		tr.Add(i, 7) // identical arrival times
+	}
+	for i := 0; i < 20; i++ {
+		a, ok := tr.PopDue(7)
+		if !ok || a.Vehicle != i {
+			t.Fatalf("tie-break violated at %d: got %+v", i, a)
+		}
+	}
+}
+
+func TestTravelPeek(t *testing.T) {
+	var tr Travel
+	if _, ok := tr.Peek(); ok {
+		t.Fatal("peek on empty travel succeeded")
+	}
+	tr.Add(9, 2)
+	a, ok := tr.Peek()
+	if !ok || a.Vehicle != 9 || tr.Len() != 1 {
+		t.Fatalf("peek: %+v len=%d", a, tr.Len())
+	}
+}
+
+func TestTravelPropertySorted(t *testing.T) {
+	f := func(times []float64) bool {
+		var tr Travel
+		for i, at := range times {
+			if at < 0 {
+				at = -at
+			}
+			tr.Add(i, at)
+		}
+		last := -1.0
+		for {
+			a, ok := tr.PopDue(math.Inf(1))
+			if !ok {
+				break
+			}
+			if a.At < last {
+				return false
+			}
+			last = a.At
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation and the distribution samplers used by the traffic simulator.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// every run is fully determined by a single 64-bit seed, and independent
+// subsystems (arrival processes on different entry roads, route choices,
+// ...) draw from independent named streams derived from that seed, so
+// adding a consumer never perturbs the draws seen by another.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64, both implemented here so the library depends only on the
+// standard library and produces identical sequences on every platform.
+package rng
+
+import "math"
+
+// splitMix64 advances the given state and returns the next splitmix64
+// output. It is used for seeding and for deriving stream keys.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString folds a stream label into a 64-bit key (FNV-1a).
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct one with New or Source.Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given 64-bit seed via splitmix64.
+func New(seed uint64) *Source {
+	var src Source
+	st := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&st)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator identified by label.
+// Splitting does not advance the parent, so the set of child streams a
+// program creates — and the order it creates them in — never changes the
+// numbers any individual stream produces.
+func (r *Source) Split(label string) *Source {
+	st := r.s[0] ^ rotl(r.s[2], 29) ^ hashString(label)
+	var child Source
+	for i := range child.s {
+		child.s[i] = splitMix64(&st)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &child
+}
+
+// SplitIndexed derives an independent child generator identified by a label
+// and an index, convenient for per-entity streams ("arrivals", road ID).
+func (r *Source) SplitIndexed(label string, index int) *Source {
+	st := r.s[0] ^ rotl(r.s[2], 29) ^ hashString(label) ^ (uint64(index)+1)*0xd1342543de82ef95
+	var child Source
+	for i := range child.s {
+		child.s[i] = splitMix64(&st)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &child
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers validate n at configuration time.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi = t >> 32
+	t = aLo*bHi + mid
+	hi += t >> 32
+	lo |= (t & mask) << 32
+	hi += aHi * bHi
+	return hi, lo
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A non-positive mean yields 0.
+func (r *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard against log(0); Float64 is in [0,1) so 1-u is in (0,1].
+	return -mean * math.Log(1-u)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's product-of-uniforms method for small means and a normal
+// approximation for large ones (mean > 60), which is ample for traffic
+// arrival counts per mini-slot.
+func (r *Source) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean > 60:
+		// Normal approximation with continuity correction.
+		n := r.Norm()*math.Sqrt(mean) + mean + 0.5
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	default:
+		limit := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *Source) Norm() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Categorical draws an index from the discrete distribution given by
+// weights. Non-positive weights are treated as zero. If every weight is
+// zero the last index is returned, so a degenerate distribution still
+// yields a valid index.
+func (r *Source) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return len(weights) - 1
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

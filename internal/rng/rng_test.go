@@ -1,0 +1,301 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("arrivals")
+	// Drawing from c1 must not affect a later split with the same label.
+	for i := 0; i < 50; i++ {
+		c1.Uint64()
+	}
+	c2 := parent.Split("arrivals")
+	c3 := New(7).Split("arrivals")
+	for i := 0; i < 100; i++ {
+		v2, v3 := c2.Uint64(), c3.Uint64()
+		if v2 != v3 {
+			t.Fatalf("split stream not reproducible at draw %d: %d vs %d", i, v2, v3)
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("a")
+	b := parent.Split("b")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("streams with different labels produced identical draws")
+	}
+}
+
+func TestSplitIndexedDiffer(t *testing.T) {
+	parent := New(7)
+	a := parent.SplitIndexed("road", 0)
+	b := parent.SplitIndexed("road", 1)
+	identical := true
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("indexed streams with different indices are identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(9)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	const mean = 6.0
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %g", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Fatalf("exponential mean: got %.3f want %.1f", got, mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := New(5)
+	if v := r.Exp(0); v != 0 {
+		t.Fatalf("Exp(0) = %g, want 0", v)
+	}
+	if v := r.Exp(-3); v != 0 {
+		t.Fatalf("Exp(-3) = %g, want 0", v)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(13)
+	for _, mean := range []float64{0.2, 1, 4, 20} {
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.02 {
+			t.Errorf("Poisson(%g) mean: got %.3f", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.1*mean+0.05 {
+			t.Errorf("Poisson(%g) variance: got %.3f", mean, variance)
+		}
+	}
+}
+
+func TestPoissonLargeMeanApproximation(t *testing.T) {
+	r := New(17)
+	const mean = 100.0
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Poisson(mean)
+		if v < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+		sum += float64(v)
+	}
+	if m := sum / n; math.Abs(m-mean) > 1.0 {
+		t.Fatalf("Poisson(100) mean: got %.2f", m)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d", v)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(23)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %.3f", p)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(29)
+	weights := []float64{0.4, 0, 0.4, 0.2}
+	const n = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket drawn %d times", counts[1])
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("bucket %d: frequency %.3f want %.1f", i, got, w)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	r := New(29)
+	if idx := r.Categorical([]float64{0, 0, 0}); idx != 2 {
+		t.Fatalf("degenerate categorical returned %d, want last index", idx)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	f := func(n uint8) bool {
+		m := int(n%20) + 1
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(37)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m) > 0.02 {
+		t.Errorf("normal mean %.4f", m)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %.4f", variance)
+	}
+}
+
+func TestMul128(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul128(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/sim"
+	"utilbp/internal/vehicle"
+)
+
+// Router implements the paper's route model: a vehicle entering the
+// network turns right or left with the Table I probabilities of its
+// entry side, "while the intersection at which a vehicle takes the turn
+// is selected randomly" — uniformly among the junctions on its straight
+// path; after the turn it continues straight to the boundary.
+type Router struct {
+	src     *rng.Source
+	probs   map[network.Dir]TurnProbs
+	sideOf  map[network.RoadID]network.Dir
+	pathLen map[network.Dir]int
+}
+
+// NewRouter builds the router for a grid. probs defaults to Table I when
+// nil.
+func NewRouter(g *network.GridNetwork, probs map[network.Dir]TurnProbs, src *rng.Source) *Router {
+	if probs == nil {
+		probs = TableI
+	}
+	r := &Router{
+		src:     src,
+		probs:   probs,
+		sideOf:  make(map[network.RoadID]network.Dir),
+		pathLen: make(map[network.Dir]int),
+	}
+	for _, side := range network.Dirs {
+		for _, rid := range g.Entries(side) {
+			r.sideOf[rid] = side
+		}
+		// A vehicle entering from the north or south crosses Rows
+		// junctions going straight; east/west crosses Cols.
+		if side == network.North || side == network.South {
+			r.pathLen[side] = g.Rows()
+		} else {
+			r.pathLen[side] = g.Cols()
+		}
+	}
+	return r
+}
+
+// Route implements sim.RouteChooser.
+func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Route {
+	side, ok := r.sideOf[entry]
+	if !ok {
+		return vehicle.StraightThrough
+	}
+	p := r.probs[side]
+	u := r.src.Float64()
+	var turn network.Turn
+	switch {
+	case u < p.Right:
+		turn = network.Right
+	case u < p.Right+p.Left:
+		turn = network.Left
+	default:
+		return vehicle.StraightThrough
+	}
+	n := r.pathLen[side]
+	if n <= 0 {
+		return vehicle.StraightThrough
+	}
+	return vehicle.OneTurn{Turn: turn, At: r.src.Intn(n)}
+}
+
+var _ sim.RouteChooser = (*Router)(nil)

@@ -1,0 +1,311 @@
+// Package scenario encodes the paper's Section V evaluation setup: the
+// 3×3 grid with W_i = 120, the Table I turning probabilities, the
+// Table II traffic patterns (plus the 4-hour mixed pattern), the
+// 4-second amber, alpha = -1 and beta = -2, with the saturation flow
+// calibrated to 0.5 veh/s per movement (see DESIGN.md §5).
+package scenario
+
+import (
+	"fmt"
+
+	"utilbp/internal/bp"
+	"utilbp/internal/core"
+	"utilbp/internal/fixedtime"
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/signal"
+	"utilbp/internal/sim"
+)
+
+// Pattern identifies a Table II traffic pattern.
+type Pattern int
+
+// The four Table II patterns and the 4-hour mixed pattern combining them.
+const (
+	PatternI Pattern = iota + 1
+	PatternII
+	PatternIII
+	PatternIV
+	PatternMixed
+)
+
+// Patterns lists the individual patterns in order.
+var Patterns = []Pattern{PatternI, PatternII, PatternIII, PatternIV}
+
+// AllPatterns lists the individual patterns plus the mixed one, the rows
+// of Table III.
+var AllPatterns = []Pattern{PatternI, PatternII, PatternIII, PatternIV, PatternMixed}
+
+// String names the pattern like the paper.
+func (p Pattern) String() string {
+	switch p {
+	case PatternI:
+		return "I"
+	case PatternII:
+		return "II"
+	case PatternIII:
+		return "III"
+	case PatternIV:
+		return "IV"
+	case PatternMixed:
+		return "Mixed"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Description gives the paper's label for the pattern.
+func (p Pattern) Description() string {
+	switch p {
+	case PatternI:
+		return "adjacent heavy"
+	case PatternII:
+		return "uniform"
+	case PatternIII:
+		return "opposite heavy"
+	case PatternIV:
+		return "single heavy"
+	case PatternMixed:
+		return "mixed (I+II+III+IV)"
+	}
+	return "unknown"
+}
+
+// interArrival is Table II: mean inter-arrival time in seconds of
+// vehicles entering the network, per boundary side.
+var interArrival = map[Pattern]map[network.Dir]float64{
+	PatternI:   {network.North: 3, network.East: 5, network.South: 7, network.West: 9},
+	PatternII:  {network.North: 6, network.East: 6, network.South: 6, network.West: 6},
+	PatternIII: {network.North: 3, network.East: 7, network.South: 5, network.West: 9},
+	PatternIV:  {network.North: 3, network.East: 9, network.South: 9, network.West: 9},
+}
+
+// InterArrival returns the Table II mean inter-arrival times for a
+// non-mixed pattern.
+func (p Pattern) InterArrival() (map[network.Dir]float64, error) {
+	t, ok := interArrival[p]
+	if !ok {
+		return nil, fmt.Errorf("scenario: pattern %v has no single inter-arrival table", p)
+	}
+	return t, nil
+}
+
+// Duration returns the paper's simulation horizon for the pattern: 1 h
+// for patterns I-IV, 4 h for the mixed pattern.
+func (p Pattern) Duration() float64 {
+	if p == PatternMixed {
+		return 4 * 3600
+	}
+	return 3600
+}
+
+// TurnProbs are Table I turning probabilities; the straight probability
+// is the remainder.
+type TurnProbs struct {
+	Right, Left float64
+}
+
+// Straight returns the residual straight probability.
+func (t TurnProbs) Straight() float64 { return 1 - t.Right - t.Left }
+
+// TableI is the paper's Table I: turning probabilities by entry side.
+var TableI = map[network.Dir]TurnProbs{
+	network.North: {Right: 0.4, Left: 0.2},
+	network.East:  {Right: 0.3, Left: 0.3},
+	network.South: {Right: 0.4, Left: 0.3},
+	network.West:  {Right: 0.3, Left: 0.4},
+}
+
+// Setup bundles the evaluation constants.
+type Setup struct {
+	// Grid is the network geometry; zero value uses the paper's 3×3
+	// grid with W = 120.
+	Grid network.GridSpec
+	// AmberSec is the transition-phase duration (paper: 4 s).
+	AmberSec int
+	// Alpha and Beta are eq. (8)'s special-case gains (paper: -1, -2).
+	Alpha, Beta float64
+	// Seed drives all randomness (arrivals and route choices).
+	Seed uint64
+	// TurnProbs overrides Table I when non-nil.
+	TurnProbs map[network.Dir]TurnProbs
+	// CountApproaching widens the pressure signal to include vehicles
+	// still rolling toward the stop line (an induction-loop-far-upstream
+	// detector model). Off by default: greens would hold for vehicles
+	// that cannot yet be served, hurting utilization (ablation A6).
+	CountApproaching bool
+	// DemandScale multiplies every arrival rate; 0 means 1 (the paper's
+	// Table II demand). The stability prober sweeps it to estimate a
+	// controller's capacity margin.
+	DemandScale float64
+}
+
+// Default returns the paper's Section V setup. The physical saturation
+// flow is 0.5 veh/s per movement (the standard ~1800 veh/h), which puts
+// the queue simulator in the same congestion regime as the paper's SUMO
+// runs; back-pressure decisions are invariant to a uniform µ scaling, so
+// this choice only moves the operating point (see DESIGN.md §5).
+func Default() Setup {
+	grid := network.DefaultGridSpec()
+	grid.Mu = 0.5
+	return Setup{
+		Grid:     grid,
+		AmberSec: 4,
+		Alpha:    -1,
+		Beta:     -2,
+		Seed:     1,
+	}
+}
+
+func (s Setup) withDefaults() Setup {
+	if s.Grid.Rows == 0 || s.Grid.Cols == 0 {
+		s.Grid = network.DefaultGridSpec()
+	}
+	if s.AmberSec == 0 {
+		s.AmberSec = 4
+	}
+	if s.Alpha == 0 {
+		s.Alpha = -1
+	}
+	if s.Beta == 0 {
+		s.Beta = -2
+	}
+	if s.TurnProbs == nil {
+		s.TurnProbs = TableI
+	}
+	return s
+}
+
+// Built is an instantiated scenario ready to simulate.
+type Built struct {
+	Grid     *network.GridNetwork
+	Demand   sim.ArrivalProcess
+	Router   sim.RouteChooser
+	Duration float64
+	Setup    Setup
+}
+
+// Build instantiates the scenario for a pattern.
+func (s Setup) Build(pattern Pattern) (*Built, error) {
+	s = s.withDefaults()
+	g, err := network.Grid(s.Grid)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(s.Seed)
+	rate, err := demandRate(g, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if s.DemandScale > 0 && s.DemandScale != 1 {
+		base := rate
+		scale := s.DemandScale
+		rate = func(r network.RoadID, t float64) float64 { return scale * base(r, t) }
+	}
+	return &Built{
+		Grid:     g,
+		Demand:   sim.NewPoissonDemand(root.Split("demand"), rate),
+		Router:   NewRouter(g, s.TurnProbs, root.Split("routes")),
+		Duration: pattern.Duration(),
+		Setup:    s,
+	}, nil
+}
+
+// demandRate converts the pattern's Table II rows into a RateFunc over
+// the grid's entry roads. The mixed pattern chains I..IV hourly.
+func demandRate(g *network.GridNetwork, pattern Pattern) (sim.RateFunc, error) {
+	if pattern == PatternMixed {
+		pw := sim.NewPiecewise()
+		for _, p := range Patterns {
+			r, err := demandRate(g, p)
+			if err != nil {
+				return nil, err
+			}
+			if err := pw.Append(p.Duration(), r); err != nil {
+				return nil, err
+			}
+		}
+		return pw.Rate(), nil
+	}
+	table, err := pattern.InterArrival()
+	if err != nil {
+		return nil, err
+	}
+	rt := sim.RateTable{}
+	for side, mean := range table {
+		for _, rid := range g.Entries(side) {
+			rt[rid] = mean
+		}
+	}
+	return rt.Rate(), nil
+}
+
+// UtilBP returns the UTIL-BP factory configured for this setup.
+func (s Setup) UtilBP() signal.Factory {
+	s = s.withDefaults()
+	return core.Factory(core.Options{
+		Alpha:      s.Alpha,
+		Beta:       s.Beta,
+		AmberSteps: s.AmberSec,
+		Variant:    core.GainVariant{CountApproaching: s.CountApproaching},
+	})
+}
+
+// UtilBPVariant returns a UTIL-BP factory with ablation switches; the
+// setup's detector convention is applied on top.
+func (s Setup) UtilBPVariant(v core.GainVariant, noKeepPhase bool) signal.Factory {
+	s = s.withDefaults()
+	v.CountApproaching = s.CountApproaching
+	return core.Factory(core.Options{
+		Alpha:       s.Alpha,
+		Beta:        s.Beta,
+		AmberSteps:  s.AmberSec,
+		Variant:     v,
+		NoKeepPhase: noKeepPhase,
+	})
+}
+
+// CapBP returns the CAP-BP factory with the given control phase period
+// in seconds, using the same detector convention as UtilBP.
+func (s Setup) CapBP(periodSec int) signal.Factory {
+	s = s.withDefaults()
+	opts := bp.SlotOptions{PeriodSteps: periodSec, AmberSteps: s.AmberSec}
+	if s.CountApproaching {
+		return bp.CAPBPApproaching(opts)
+	}
+	return bp.CAPBP(opts)
+}
+
+// CapBPNormalized returns the capacity-normalized CAP-BP variant, whose
+// pressures are queue fractions of road capacity.
+func (s Setup) CapBPNormalized(periodSec int) signal.Factory {
+	s = s.withDefaults()
+	return bp.CAPBPNormalized(bp.SlotOptions{PeriodSteps: periodSec, AmberSteps: s.AmberSec})
+}
+
+// OrigBP returns the original back-pressure factory of eq. (5).
+func (s Setup) OrigBP(periodSec int) signal.Factory {
+	s = s.withDefaults()
+	return bp.ORIGBP(bp.SlotOptions{PeriodSteps: periodSec, AmberSteps: s.AmberSec})
+}
+
+// FixedTime returns a pretimed round-robin factory.
+func (s Setup) FixedTime(greenSec int) signal.Factory {
+	s = s.withDefaults()
+	return fixedtime.Factory(fixedtime.Options{GreenSteps: greenSec, AmberSteps: s.AmberSec})
+}
+
+// TopRight returns the north-eastern junction the paper plots in
+// Figures 3-5.
+func TopRight(g *network.GridNetwork) network.NodeID {
+	return g.JunctionAt(0, g.Cols()-1)
+}
+
+// EastApproach returns the incoming road from the east at a junction,
+// the road whose queue the paper plots in Figure 5.
+func EastApproach(g *network.GridNetwork, junction network.NodeID) network.RoadID {
+	j := g.Junction(junction)
+	if j == nil {
+		return network.NoRoad
+	}
+	return j.In[network.East]
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/vehicle"
+)
+
+func TestPatternTables(t *testing.T) {
+	// Table II spot checks.
+	ia, err := PatternI.InterArrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia[network.North] != 3 || ia[network.East] != 5 || ia[network.South] != 7 || ia[network.West] != 9 {
+		t.Errorf("pattern I table: %v", ia)
+	}
+	ia, _ = PatternII.InterArrival()
+	for _, side := range network.Dirs {
+		if ia[side] != 6 {
+			t.Errorf("pattern II side %v = %v", side, ia[side])
+		}
+	}
+	if _, err := PatternMixed.InterArrival(); err == nil {
+		t.Error("mixed pattern should have no single table")
+	}
+}
+
+func TestPatternDurations(t *testing.T) {
+	for _, p := range Patterns {
+		if p.Duration() != 3600 {
+			t.Errorf("pattern %v duration %v", p, p.Duration())
+		}
+	}
+	if PatternMixed.Duration() != 4*3600 {
+		t.Error("mixed duration wrong")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if PatternI.String() != "I" || PatternMixed.String() != "Mixed" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(99).String() == "" || Pattern(99).Description() != "unknown" {
+		t.Error("unknown pattern handling")
+	}
+	for _, p := range AllPatterns {
+		if p.Description() == "unknown" {
+			t.Errorf("pattern %v lacks description", p)
+		}
+	}
+}
+
+func TestTableIProbabilities(t *testing.T) {
+	// Table I: straight = 1 - right - left, all non-negative.
+	for side, probs := range TableI {
+		if probs.Right < 0 || probs.Left < 0 || probs.Straight() < 0 {
+			t.Errorf("side %v: %+v", side, probs)
+		}
+	}
+	if TableI[network.North].Right != 0.4 || TableI[network.North].Left != 0.2 {
+		t.Error("north row wrong")
+	}
+	if got := TableI[network.West].Straight(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("west straight = %v", got)
+	}
+}
+
+func TestBuildScenario(t *testing.T) {
+	built, err := Default().Build(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Grid.Rows() != 3 || built.Grid.Cols() != 3 {
+		t.Error("default grid not 3x3")
+	}
+	if built.Duration != 3600 {
+		t.Error("duration wrong")
+	}
+	// Demand fires on north entries at roughly 1/3 veh/s.
+	north := built.Grid.Entries(network.North)[0]
+	total := 0
+	for k := 0; k < 3000; k++ {
+		total += built.Demand.Arrivals(north, k, float64(k), 1)
+	}
+	rate := float64(total) / 3000
+	if math.Abs(rate-1.0/3.0) > 0.05 {
+		t.Errorf("north arrival rate = %v, want ~0.333", rate)
+	}
+	// Exit roads are silent.
+	exit := built.Grid.Exits(network.North)[0]
+	for k := 0; k < 100; k++ {
+		if built.Demand.Arrivals(exit, k, float64(k), 1) != 0 {
+			t.Fatal("exit road generated arrivals")
+		}
+	}
+}
+
+func TestMixedDemandSwitchesHourly(t *testing.T) {
+	built, err := Default().Build(PatternMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t in hour 2 (pattern II), east entries run at 1/6; in hour 1
+	// (pattern I) they run at 1/5. Compare empirical rates.
+	east := built.Grid.Entries(network.East)[0]
+	rate := func(t0 float64) float64 {
+		total := 0
+		for k := 0; k < 2000; k++ {
+			total += built.Demand.Arrivals(east, k, t0+float64(k), 1)
+		}
+		return float64(total) / 2000
+	}
+	r1 := rate(100)          // pattern I: 1/5
+	r2 := rate(3700)         // pattern II: 1/6
+	r4 := rate(3*3600 + 100) // pattern IV: 1/9
+	if math.Abs(r1-0.2) > 0.03 {
+		t.Errorf("hour 1 east rate = %v, want ~0.2", r1)
+	}
+	if math.Abs(r2-1.0/6) > 0.03 {
+		t.Errorf("hour 2 east rate = %v, want ~0.167", r2)
+	}
+	if math.Abs(r4-1.0/9) > 0.03 {
+		t.Errorf("hour 4 east rate = %v, want ~0.111", r4)
+	}
+}
+
+func TestRouterDistribution(t *testing.T) {
+	built, err := Default().Build(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(built.Grid, nil, rng.New(7))
+	north := built.Grid.Entries(network.North)[1]
+	const n = 20000
+	counts := map[network.Turn]int{}
+	atCounts := map[int]int{}
+	for i := 0; i < n; i++ {
+		route := r.Route(north, 0)
+		// Classify: find the single turn (if any) in the first 3 junctions.
+		turn := network.Straight
+		at := -1
+		for j := 0; j < 3; j++ {
+			if tt := route.TurnAt(j); tt != network.Straight {
+				turn = tt
+				at = j
+				break
+			}
+		}
+		counts[turn]++
+		if at >= 0 {
+			atCounts[at]++
+		}
+	}
+	// North: right 0.4, left 0.2, straight 0.4.
+	if got := float64(counts[network.Right]) / n; math.Abs(got-0.4) > 0.02 {
+		t.Errorf("right fraction = %v", got)
+	}
+	if got := float64(counts[network.Left]) / n; math.Abs(got-0.2) > 0.02 {
+		t.Errorf("left fraction = %v", got)
+	}
+	// Turning junction uniform over the 3 rows.
+	turners := counts[network.Right] + counts[network.Left]
+	for j := 0; j < 3; j++ {
+		got := float64(atCounts[j]) / float64(turners)
+		if math.Abs(got-1.0/3) > 0.03 {
+			t.Errorf("turn-at[%d] fraction = %v", j, got)
+		}
+	}
+}
+
+func TestRouterUnknownEntry(t *testing.T) {
+	built, _ := Default().Build(PatternI)
+	r := NewRouter(built.Grid, nil, rng.New(7))
+	if route := r.Route(network.RoadID(9999), 0); route != vehicle.StraightThrough {
+		t.Error("unknown entry should route straight")
+	}
+}
+
+func TestSetupHelpers(t *testing.T) {
+	s := Default()
+	if s.UtilBP().Name() != "UTIL-BP" {
+		t.Error("UtilBP factory name")
+	}
+	if s.CapBP(16).Name() != "CAP-BP" {
+		t.Error("CapBP factory name")
+	}
+	if s.OrigBP(16).Name() != "ORIG-BP" {
+		t.Error("OrigBP factory name")
+	}
+	if s.FixedTime(15).Name() != "FIXED" {
+		t.Error("FixedTime factory name")
+	}
+	built, err := s.Build(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TopRight(built.Grid)
+	if tr != built.Grid.JunctionAt(0, 2) {
+		t.Error("TopRight wrong")
+	}
+	east := EastApproach(built.Grid, tr)
+	if east == network.NoRoad {
+		t.Fatal("east approach missing")
+	}
+	if built.Grid.Road(east).Heading != network.West {
+		t.Error("east approach should head west")
+	}
+	if EastApproach(built.Grid, network.NodeID(999)) != network.NoRoad {
+		t.Error("bad junction should yield NoRoad")
+	}
+}
+
+func TestSetupDefaultsFill(t *testing.T) {
+	s := Setup{}.withDefaults()
+	if s.Grid.Rows != 3 || s.AmberSec != 4 || s.Alpha != -1 || s.Beta != -2 || s.TurnProbs == nil {
+		t.Errorf("withDefaults: %+v", s)
+	}
+}
+
+func TestBuildDeterministicAcrossConsumers(t *testing.T) {
+	// Two builds with the same seed produce identical demand draws.
+	b1, _ := Default().Build(PatternI)
+	b2, _ := Default().Build(PatternI)
+	road := b1.Grid.Entries(network.South)[2]
+	for k := 0; k < 200; k++ {
+		if b1.Demand.Arrivals(road, k, float64(k), 1) != b2.Demand.Arrivals(road, k, float64(k), 1) {
+			t.Fatal("same-seed builds diverged")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+)
+
+// ArrivalProcess generates the exogenous traffic entering the network:
+// A_i(k, k+1) in the paper's queuing dynamics (eq. 2).
+type ArrivalProcess interface {
+	// Arrivals returns how many vehicles are generated at the given
+	// entry road during mini-slot k, i.e. in [t, t+dt).
+	Arrivals(road network.RoadID, step int, t, dt float64) int
+}
+
+// RateFunc returns the arrival rate in vehicles per second at an entry
+// road at simulation time t. Returning 0 silences the road.
+type RateFunc func(road network.RoadID, t float64) float64
+
+// PoissonDemand draws per-slot arrival counts from independent Poisson
+// distributions, one deterministic stream per entry road, per Section II-B
+// of the paper ("the arrival of vehicles at each incoming road is an
+// exogenous process ... Poisson distribution").
+type PoissonDemand struct {
+	rate    RateFunc
+	streams map[network.RoadID]*rng.Source
+	root    *rng.Source
+}
+
+// NewPoissonDemand builds a Poisson arrival process over the given rate
+// function, deriving per-road streams from root so results do not depend
+// on the set or order of other RNG consumers.
+func NewPoissonDemand(root *rng.Source, rate RateFunc) *PoissonDemand {
+	return &PoissonDemand{
+		rate:    rate,
+		streams: make(map[network.RoadID]*rng.Source),
+		root:    root,
+	}
+}
+
+// Arrivals implements ArrivalProcess.
+func (p *PoissonDemand) Arrivals(road network.RoadID, _ int, t, dt float64) int {
+	lambda := p.rate(road, t)
+	if lambda <= 0 || dt <= 0 {
+		return 0
+	}
+	s := p.streams[road]
+	if s == nil {
+		s = p.root.SplitIndexed("arrivals", int(road))
+		p.streams[road] = s
+	}
+	return s.Poisson(lambda * dt)
+}
+
+// ConstantRate returns a RateFunc with the same rate on every listed road
+// and zero elsewhere. An empty road list applies the rate everywhere.
+func ConstantRate(rate float64, roads ...network.RoadID) RateFunc {
+	if len(roads) == 0 {
+		return func(network.RoadID, float64) float64 { return rate }
+	}
+	set := make(map[network.RoadID]bool, len(roads))
+	for _, r := range roads {
+		set[r] = true
+	}
+	return func(r network.RoadID, _ float64) float64 {
+		if set[r] {
+			return rate
+		}
+		return 0
+	}
+}
+
+// RateTable maps entry roads to mean inter-arrival times (seconds), the
+// way the paper's Table II specifies demand. Roads absent from the table
+// are silent.
+type RateTable map[network.RoadID]float64
+
+// Rate returns the RateFunc for the table.
+func (rt RateTable) Rate() RateFunc {
+	return func(r network.RoadID, _ float64) float64 {
+		mean, ok := rt[r]
+		if !ok || mean <= 0 {
+			return 0
+		}
+		return 1 / mean
+	}
+}
+
+// Piecewise composes time-varying demand from consecutive segments, used
+// for the paper's 4-hour mixed pattern. Each segment runs for its Duration
+// and uses its RateFunc; past the last segment the final one applies.
+type Piecewise struct {
+	segments []pwSegment
+}
+
+type pwSegment struct {
+	until float64
+	rate  RateFunc
+}
+
+// NewPiecewise builds a piecewise rate. Durations must be positive.
+func NewPiecewise() *Piecewise { return &Piecewise{} }
+
+// Append adds a segment lasting duration seconds.
+func (p *Piecewise) Append(duration float64, rate RateFunc) error {
+	if duration <= 0 {
+		return fmt.Errorf("sim: piecewise segment duration %v must be positive", duration)
+	}
+	if rate == nil {
+		return fmt.Errorf("sim: piecewise segment rate must not be nil")
+	}
+	start := 0.0
+	if n := len(p.segments); n > 0 {
+		start = p.segments[n-1].until
+	}
+	p.segments = append(p.segments, pwSegment{until: start + duration, rate: rate})
+	return nil
+}
+
+// Rate returns the composed RateFunc. It returns zero demand when no
+// segment was appended.
+func (p *Piecewise) Rate() RateFunc {
+	if len(p.segments) == 0 {
+		return func(network.RoadID, float64) float64 { return 0 }
+	}
+	segs := append([]pwSegment(nil), p.segments...)
+	return func(r network.RoadID, t float64) float64 {
+		idx := sort.Search(len(segs), func(i int) bool { return t < segs[i].until })
+		if idx == len(segs) {
+			idx = len(segs) - 1
+		}
+		return segs[idx].rate(r, t)
+	}
+}
+
+// ScheduledDemand replays an explicit arrival schedule; it exists for
+// tests and trace-driven experiments. Times are slot indexes.
+type ScheduledDemand struct {
+	bySlot map[network.RoadID]map[int]int
+}
+
+// NewScheduledDemand returns an empty schedule.
+func NewScheduledDemand() *ScheduledDemand {
+	return &ScheduledDemand{bySlot: make(map[network.RoadID]map[int]int)}
+}
+
+// Add schedules count arrivals on road at slot step.
+func (s *ScheduledDemand) Add(road network.RoadID, step, count int) {
+	m := s.bySlot[road]
+	if m == nil {
+		m = make(map[int]int)
+		s.bySlot[road] = m
+	}
+	m[step] += count
+}
+
+// Arrivals implements ArrivalProcess.
+func (s *ScheduledDemand) Arrivals(road network.RoadID, step int, _, _ float64) int {
+	return s.bySlot[road][step]
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/vehicle"
+)
+
+func TestPoissonDemandMeanRate(t *testing.T) {
+	d := NewPoissonDemand(rng.New(1), ConstantRate(0.5))
+	total := 0
+	const steps = 20000
+	for k := 0; k < steps; k++ {
+		total += d.Arrivals(3, k, float64(k), 1)
+	}
+	got := float64(total) / steps
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("mean arrivals per slot = %.3f, want ~0.5", got)
+	}
+}
+
+func TestPoissonDemandPerRoadStreamsIndependent(t *testing.T) {
+	// Drawing for road A must not change what road B sees.
+	d1 := NewPoissonDemand(rng.New(9), ConstantRate(1))
+	d2 := NewPoissonDemand(rng.New(9), ConstantRate(1))
+	for k := 0; k < 100; k++ {
+		d1.Arrivals(1, k, float64(k), 1) // extra consumer only in d1
+		a := d1.Arrivals(2, k, float64(k), 1)
+		b := d2.Arrivals(2, k, float64(k), 1)
+		if a != b {
+			t.Fatalf("road 2 stream perturbed by road 1 at step %d: %d vs %d", k, a, b)
+		}
+	}
+}
+
+func TestPoissonDemandZeroRate(t *testing.T) {
+	d := NewPoissonDemand(rng.New(1), ConstantRate(0))
+	for k := 0; k < 50; k++ {
+		if d.Arrivals(0, k, float64(k), 1) != 0 {
+			t.Fatal("zero rate produced arrivals")
+		}
+	}
+}
+
+func TestConstantRateScoped(t *testing.T) {
+	r := ConstantRate(2, 4, 5)
+	if r(4, 0) != 2 || r(5, 10) != 2 {
+		t.Error("listed roads should have the rate")
+	}
+	if r(6, 0) != 0 {
+		t.Error("unlisted road should be silent")
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	rt := RateTable{7: 4} // mean inter-arrival 4 s -> rate 0.25/s
+	r := rt.Rate()
+	if got := r(7, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("rate = %v, want 0.25", got)
+	}
+	if r(8, 0) != 0 {
+		t.Error("absent road should be silent")
+	}
+	bad := RateTable{7: 0}
+	if bad.Rate()(7, 0) != 0 {
+		t.Error("non-positive mean should be silent")
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p := NewPiecewise()
+	if err := p.Append(100, ConstantRate(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(100, ConstantRate(3)); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rate()
+	cases := []struct {
+		t    float64
+		want float64
+	}{{0, 1}, {99.9, 1}, {100, 3}, {150, 3}, {199.9, 3}, {500, 3}}
+	for _, c := range cases {
+		if got := r(0, c.t); got != c.want {
+			t.Errorf("rate at t=%v: got %v want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseErrors(t *testing.T) {
+	p := NewPiecewise()
+	if err := p.Append(0, ConstantRate(1)); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := p.Append(10, nil); err == nil {
+		t.Error("nil rate accepted")
+	}
+	if p.Rate()(0, 5) != 0 {
+		t.Error("empty piecewise should be silent")
+	}
+}
+
+func TestScheduledDemand(t *testing.T) {
+	s := NewScheduledDemand()
+	s.Add(2, 5, 3)
+	s.Add(2, 5, 1)
+	if got := s.Arrivals(2, 5, 5, 1); got != 4 {
+		t.Errorf("scheduled arrivals = %d, want 4", got)
+	}
+	if got := s.Arrivals(2, 6, 6, 1); got != 0 {
+		t.Errorf("unscheduled slot = %d, want 0", got)
+	}
+	if got := s.Arrivals(3, 5, 5, 1); got != 0 {
+		t.Errorf("unscheduled road = %d, want 0", got)
+	}
+}
+
+func TestRouterAdapters(t *testing.T) {
+	if (StraightRouter{}).Route(0, 0).TurnAt(0) != network.Straight {
+		t.Error("straight router turned")
+	}
+	if (FixedRouter{}).Route(0, 0).TurnAt(0) != network.Straight {
+		t.Error("nil fixed router should default to straight")
+	}
+	fr := FixedRouter{R: vehicle.OneTurn{Turn: network.Left, At: 0}}
+	if fr.Route(0, 0).TurnAt(0) != network.Left {
+		t.Error("fixed router ignored its route")
+	}
+	rf := RouteFunc(func(entry network.RoadID, _ float64) vehicle.Route {
+		return vehicle.OneTurn{Turn: network.Right, At: 1}
+	})
+	if rf.Route(3, 0).TurnAt(1) != network.Right {
+		t.Error("route func not applied")
+	}
+}

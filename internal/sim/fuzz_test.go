@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/signal"
+)
+
+// chaosCtrl returns pseudo-random (possibly invalid) phases, exercising
+// the engine's tolerance of arbitrary controller behaviour.
+type chaosCtrl struct {
+	src *rng.Source
+	max int
+}
+
+func (c *chaosCtrl) Name() string { return "chaos" }
+func (c *chaosCtrl) Decide(*signal.Obs) signal.Phase {
+	// Range [-1, max+2): includes amber, valid phases, and out-of-range
+	// values the engine must sanitize.
+	return signal.Phase(c.src.Intn(c.max+3) - 1)
+}
+
+// TestInvariantsUnderChaosController: whatever the controller returns,
+// the engine must preserve conservation and capacity invariants.
+func TestInvariantsUnderChaosController(t *testing.T) {
+	f := func(seed uint32, rows, cols uint8) bool {
+		spec := network.DefaultGridSpec()
+		spec.Rows = int(rows%3) + 1
+		spec.Cols = int(cols%3) + 1
+		spec.Capacity = 15
+		g, err := network.Grid(spec)
+		if err != nil {
+			return false
+		}
+		src := rng.New(uint64(seed))
+		e, err := New(Config{
+			Net: g.Network,
+			Controllers: signal.FactoryFunc{Label: "chaos", Build: func(info signal.JunctionInfo) (signal.Controller, error) {
+				return &chaosCtrl{src: src.Split(info.Label), max: info.NumPhases()}, nil
+			}},
+			Demand: NewPoissonDemand(src.Split("demand"), ConstantRate(0.4)),
+			Router: StraightRouter{},
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			e.Run(50)
+			if err := e.CheckInvariants(); err != nil {
+				t.Logf("seed %d grid %dx%d: %v", seed, spec.Rows, spec.Cols, err)
+				return false
+			}
+		}
+		e.FinalizeWaits()
+		for _, v := range e.Vehicles() {
+			if v.QueueWait < 0 {
+				t.Logf("negative wait: %+v", v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsUnderChaosMixedLanes repeats the chaos check with the
+// head-of-line-blocking extension enabled.
+func TestInvariantsUnderChaosMixedLanes(t *testing.T) {
+	spec := network.DefaultGridSpec()
+	spec.Rows, spec.Cols = 2, 2
+	spec.Capacity = 12
+	g, err := network.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(321)
+	e, err := New(Config{
+		Net: g.Network,
+		Controllers: signal.FactoryFunc{Label: "chaos", Build: func(info signal.JunctionInfo) (signal.Controller, error) {
+			return &chaosCtrl{src: src.Split(info.Label), max: info.NumPhases()}, nil
+		}},
+		Demand:     NewPoissonDemand(src.Split("demand"), ConstantRate(0.4)),
+		Router:     StraightRouter{},
+		MixedLanes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Run(60)
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"utilbp/internal/fixedtime"
+	"utilbp/internal/network"
+	"utilbp/internal/vehicle"
+)
+
+// TestPathRouteFollowsTurnPath: a vehicle given an explicit BFS-computed
+// turn path crosses exactly the planned junctions and exits, with no
+// fallback rerouting.
+func TestPathRouteFollowsTurnPath(t *testing.T) {
+	g, err := network.Grid(network.DefaultGridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// West entry row 2 to north exit column 1: requires a right turn and
+	// precise lane choices along the way.
+	entry := g.Entries(network.West)[2]
+	exit := g.Exits(network.North)[1]
+	turns, err := g.TurnPath(entry, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) < 2 {
+		t.Fatalf("path too short to be interesting: %v", turns)
+	}
+	sched := NewScheduledDemand()
+	sched.Add(entry, 0, 1)
+	e, err := New(Config{
+		Net:         g.Network,
+		Controllers: fixedtime.Factory(fixedtime.Options{GreenSteps: 10, AmberSteps: 2}),
+		Demand:      sched,
+		Router:      FixedRouter{R: vehicle.Path{Turns: turns}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(4000)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v := e.Vehicles()[0]
+	if !v.Done() {
+		t.Fatalf("vehicle stuck: %+v", v)
+	}
+	if v.Junctions != len(turns) {
+		t.Fatalf("crossed %d junctions, want %d", v.Junctions, len(turns))
+	}
+	if e.Totals().RouteFallbacks != 0 {
+		t.Fatal("explicit path needed fallbacks")
+	}
+}

@@ -1,0 +1,134 @@
+package stability
+
+import (
+	"testing"
+
+	"utilbp/internal/scenario"
+)
+
+func testOpts(t *testing.T) Options {
+	t.Helper()
+	setup := scenario.Default()
+	setup.Seed = 5
+	return Options{
+		Setup:      setup,
+		Pattern:    scenario.PatternII,
+		Factory:    setup.UtilBP(),
+		HorizonSec: 900,
+		Iterations: 3,
+	}
+}
+
+func TestEvaluateLightDemandStable(t *testing.T) {
+	eval, err := Evaluate(testOpts(t), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eval.Stable {
+		t.Fatalf("30%% of Table II demand classified unstable: %+v", eval)
+	}
+}
+
+func TestEvaluateAbsurdDemandUnstable(t *testing.T) {
+	eval, err := Evaluate(testOpts(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Stable {
+		t.Fatalf("5x Table II demand classified stable: %+v", eval)
+	}
+	if eval.Slope <= 0 {
+		t.Errorf("overloaded backlog slope = %v, want positive", eval.Slope)
+	}
+}
+
+func TestEvaluateRejectsTinyHorizon(t *testing.T) {
+	opts := testOpts(t)
+	opts.HorizonSec = 20
+	if _, err := Evaluate(opts, 1); err == nil {
+		t.Fatal("tiny horizon accepted")
+	}
+}
+
+func TestProbeBrackets(t *testing.T) {
+	opts := testOpts(t)
+	opts.MinScale = 0.3
+	opts.MaxScale = 4
+	res, err := Probe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalScale < opts.MinScale || res.CriticalScale >= opts.MaxScale {
+		t.Fatalf("critical scale %v outside (%v, %v)", res.CriticalScale, opts.MinScale, opts.MaxScale)
+	}
+	// min eval + max eval + Iterations bisection evals.
+	if len(res.Evaluations) != 2+opts.Iterations {
+		t.Fatalf("evaluations = %d", len(res.Evaluations))
+	}
+}
+
+func TestProbeAllStable(t *testing.T) {
+	opts := testOpts(t)
+	opts.MinScale = 0.1
+	opts.MaxScale = 0.2
+	res, err := Probe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalScale != 0.2 {
+		t.Fatalf("critical = %v, want MaxScale when everything is stable", res.CriticalScale)
+	}
+}
+
+func TestProbeAllUnstable(t *testing.T) {
+	opts := testOpts(t)
+	opts.MinScale = 4
+	opts.MaxScale = 6
+	res, err := Probe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalScale != 0 {
+		t.Fatalf("critical = %v, want 0 when even MinScale is unstable", res.CriticalScale)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	opts := testOpts(t)
+	opts.Factory = nil
+	if _, err := Probe(opts); err == nil {
+		t.Error("missing factory accepted")
+	}
+	opts = testOpts(t)
+	opts.MinScale = 2
+	opts.MaxScale = 1
+	if _, err := Probe(opts); err == nil {
+		t.Error("inverted bracket accepted")
+	}
+}
+
+// TestUtilAtLeastAsStableAsCap is the trade-off question the paper defers:
+// does utilization-awareness cost stability margin? At probe resolution,
+// UTIL-BP's critical demand scale is at least CAP-BP's.
+func TestUtilAtLeastAsStableAsCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := testOpts(t)
+	base.Iterations = 4
+	util, err := Probe(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capOpts := base
+	capOpts.Factory = base.Setup.CapBP(22)
+	capRes, err := Probe(capOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util.CriticalScale < capRes.CriticalScale*0.85 {
+		t.Errorf("UTIL-BP critical scale %.3f far below CAP-BP %.3f",
+			util.CriticalScale, capRes.CriticalScale)
+	}
+	t.Logf("critical demand scale: UTIL-BP %.3f, CAP-BP@22 %.3f", util.CriticalScale, capRes.CriticalScale)
+}

@@ -1,0 +1,142 @@
+// Package stats aggregates simulation output into the quantities the
+// paper reports: average queuing time per vehicle (Table III, Figure 2),
+// phase timelines (Figures 3-4) and queue-length series (Figure 5), plus
+// distributional summaries used by the wider test and benchmark suite.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"utilbp/internal/vehicle"
+)
+
+// WaitSummary condenses per-vehicle queueing times for one run.
+type WaitSummary struct {
+	// Spawned counts all generated vehicles; Exited those that left the
+	// network before the horizon.
+	Spawned, Exited int
+	// MeanWait is the average queuing time over all spawned vehicles,
+	// counting the wait accrued so far by vehicles still in the network
+	// (call Engine.FinalizeWaits first). This is the paper's "average
+	// queuing time of a vehicle in the entire network".
+	MeanWait float64
+	// MeanWaitExited averages over exited vehicles only.
+	MeanWaitExited float64
+	// MaxWait is the worst per-vehicle queuing time.
+	MaxWait float64
+	// P50, P90 and P99 are queueing-time percentiles over all vehicles.
+	P50, P90, P99 float64
+	// MeanTripTime averages entry-to-exit times of exited vehicles.
+	MeanTripTime float64
+	// CompletionRate is Exited/Spawned (1 when nothing spawned).
+	CompletionRate float64
+}
+
+// Summarize computes a WaitSummary over a vehicle arena.
+func Summarize(vehs []vehicle.Vehicle) WaitSummary {
+	s := WaitSummary{Spawned: len(vehs), CompletionRate: 1}
+	if len(vehs) == 0 {
+		return s
+	}
+	waits := make([]float64, 0, len(vehs))
+	var total, totalExited, totalTrip float64
+	for i := range vehs {
+		v := &vehs[i]
+		waits = append(waits, v.QueueWait)
+		total += v.QueueWait
+		if v.QueueWait > s.MaxWait {
+			s.MaxWait = v.QueueWait
+		}
+		if v.Done() {
+			s.Exited++
+			totalExited += v.QueueWait
+			totalTrip += v.TripTime()
+		}
+	}
+	s.MeanWait = total / float64(len(vehs))
+	if s.Exited > 0 {
+		s.MeanWaitExited = totalExited / float64(s.Exited)
+		s.MeanTripTime = totalTrip / float64(s.Exited)
+	}
+	s.CompletionRate = float64(s.Exited) / float64(s.Spawned)
+	sort.Float64s(waits)
+	s.P50 = percentileSorted(waits, 50)
+	s.P90 = percentileSorted(waits, 90)
+	s.P99 = percentileSorted(waits, 99)
+	return s
+}
+
+// percentileSorted returns the p-th percentile (0-100) of an ascending
+// slice using linear interpolation; it returns 0 for empty input.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram of queueing times.
+type Histogram struct {
+	// BinWidth is the width of each bin in seconds.
+	BinWidth float64
+	// Counts[i] counts values in [i*BinWidth, (i+1)*BinWidth); the last
+	// bin absorbs everything beyond.
+	Counts []int
+	// Overflow counts values beyond the last bin.
+	Overflow int
+	total    int
+}
+
+// NewHistogram builds a histogram with the given bin width and count.
+func NewHistogram(binWidth float64, bins int) *Histogram {
+	if binWidth <= 0 {
+		binWidth = 1
+	}
+	if bins <= 0 {
+		bins = 1
+	}
+	return &Histogram{BinWidth: binWidth, Counts: make([]int, bins)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < 0 {
+		v = 0
+	}
+	bin := int(v / h.BinWidth)
+	if bin >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[bin]++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of values in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,100 @@
+// Package trace exports simulation series as CSV for external plotting —
+// the figures of the paper are regenerated from these files.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"utilbp/internal/signal"
+	"utilbp/internal/vehicle"
+)
+
+// WritePhaseTimeline writes a (time_s, phase) CSV of a phase timeline,
+// the data behind Figures 3 and 4. dt is the mini-slot length in seconds.
+func WritePhaseTimeline(w io.Writer, dt float64, phases []signal.Phase) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "phase"}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for k, p := range phases {
+		rec := []string{
+			strconv.FormatFloat(float64(k)*dt, 'f', -1, 64),
+			strconv.Itoa(int(p)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeries writes aligned numeric columns as CSV. Column slices must
+// share one length; headers names them.
+func WriteSeries(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("trace: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("trace: column %q has %d rows, want %d", headers[i], len(c), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	row := make([]string, len(cols))
+	for r := 0; r < n; r++ {
+		for c := range cols {
+			row[c] = strconv.FormatFloat(cols[c][r], 'f', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// IntsToFloats converts an int series for WriteSeries.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// WriteVehicles dumps per-vehicle lifecycle records as CSV: spawn, entry
+// and exit times, accumulated queueing time and junctions crossed.
+// Unset times serialize as -1.
+func WriteVehicles(w io.Writer, vehs []vehicle.Vehicle) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "entry_road", "spawned_s", "entered_s", "exited_s", "queue_wait_s", "junctions"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range vehs {
+		v := &vehs[i]
+		row[0] = strconv.Itoa(int(v.ID))
+		row[1] = strconv.Itoa(int(v.EntryRoad))
+		row[2] = strconv.FormatFloat(v.SpawnedAt, 'f', -1, 64)
+		row[3] = strconv.FormatFloat(v.EnteredAt, 'f', -1, 64)
+		row[4] = strconv.FormatFloat(v.ExitedAt, 'f', -1, 64)
+		row[5] = strconv.FormatFloat(v.QueueWait, 'f', 3, 64)
+		row[6] = strconv.Itoa(v.Junctions)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"utilbp/internal/signal"
+	"utilbp/internal/vehicle"
+)
+
+func TestWritePhaseTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	phases := []signal.Phase{1, 1, 0, 2}
+	if err := WritePhaseTimeline(&buf, 0.5, phases); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want header+4", len(lines))
+	}
+	if lines[0] != "time_s,phase" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1" || lines[3] != "1,0" || lines[4] != "1.5,2" {
+		t.Errorf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeries(&buf, []string{"x", "y"}, []float64{1, 2}, []float64{3.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,3.5\n2,4\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteSeriesValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, []string{"x"}, []float64{1}, []float64{2}); err == nil {
+		t.Error("header/column mismatch accepted")
+	}
+	if err := WriteSeries(&buf, []string{"x", "y"}, []float64{1, 2}, []float64{3}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+}
+
+func TestWriteSeriesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, []string{"x"}, []float64{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "x" {
+		t.Errorf("empty series csv = %q", buf.String())
+	}
+}
+
+func TestWriteVehicles(t *testing.T) {
+	var buf bytes.Buffer
+	vehs := []vehicle.Vehicle{
+		{ID: 0, EntryRoad: 5, SpawnedAt: 1, EnteredAt: 2, ExitedAt: 50, QueueWait: 12.5, Junctions: 3},
+		{ID: 1, EntryRoad: 6, SpawnedAt: 4, EnteredAt: vehicle.Unset, ExitedAt: vehicle.Unset},
+	}
+	if err := WriteVehicles(&buf, vehs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "id,entry_road,spawned_s,entered_s,exited_s,queue_wait_s,junctions" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,5,1,2,50,12.500,3" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",-1,-1,") {
+		t.Errorf("unset times not serialized as -1: %q", lines[2])
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	out := IntsToFloats([]int{1, -2, 3})
+	if len(out) != 3 || out[0] != 1 || out[1] != -2 || out[2] != 3 {
+		t.Errorf("IntsToFloats = %v", out)
+	}
+	if IntsToFloats(nil) == nil {
+		// empty slice is fine too; just must not panic
+		t.Log("nil input yields nil slice")
+	}
+}

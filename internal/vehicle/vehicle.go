@@ -1,0 +1,103 @@
+// Package vehicle models the individual vehicles flowing through the
+// network and their route plans. Routes follow the paper's Section V
+// setup: a vehicle entering the network goes straight except for at most
+// one turn, taken at a randomly selected intersection along its way.
+package vehicle
+
+import "utilbp/internal/network"
+
+// ID indexes a vehicle in the simulation's vehicle arena.
+type ID int
+
+// Unset marks timestamps that have not happened yet.
+const Unset = -1
+
+// Vehicle is one vehicle's lifecycle record. Times are simulation seconds.
+type Vehicle struct {
+	ID        ID
+	EntryRoad network.RoadID
+	// SpawnedAt is when the arrival process generated the vehicle;
+	// EnteredAt is when it physically joined its entry road (later than
+	// SpawnedAt if the road was at capacity); ExitedAt is when it left
+	// the network. Unset until the event occurs.
+	SpawnedAt float64
+	EnteredAt float64
+	ExitedAt  float64
+	// QueueWait is the accumulated queuing time: waiting in dedicated
+	// turning lanes plus waiting to enter a full entry road.
+	QueueWait float64
+	// Junctions counts the junctions the vehicle has been served
+	// through; it indexes Route.TurnAt.
+	Junctions int
+	Route     Route
+}
+
+// InNetwork reports whether the vehicle has entered and not yet exited.
+func (v *Vehicle) InNetwork() bool { return v.EnteredAt != Unset && v.ExitedAt == Unset }
+
+// Done reports whether the vehicle has left the network.
+func (v *Vehicle) Done() bool { return v.ExitedAt != Unset }
+
+// TripTime returns the entry-to-exit duration, or Unset when incomplete.
+func (v *Vehicle) TripTime() float64 {
+	if v.EnteredAt == Unset || v.ExitedAt == Unset {
+		return Unset
+	}
+	return v.ExitedAt - v.EnteredAt
+}
+
+// Route decides the movement a vehicle makes at each junction it meets.
+type Route interface {
+	// TurnAt returns the movement to take at the n-th junction the
+	// vehicle encounters (0-based).
+	TurnAt(n int) network.Turn
+}
+
+// OneTurn is the paper's route model: straight everywhere except a single
+// turn at the junction with encounter index At. A vehicle that goes
+// straight through the whole network uses At = -1 (or any index it never
+// reaches).
+type OneTurn struct {
+	Turn network.Turn
+	At   int
+}
+
+// TurnAt implements Route.
+func (r OneTurn) TurnAt(n int) network.Turn {
+	if n == r.At {
+		return r.Turn
+	}
+	return network.Straight
+}
+
+// StraightThrough is a route that never turns.
+var StraightThrough Route = OneTurn{Turn: network.Straight, At: -1}
+
+// Path is an explicit movement list for arbitrary topologies; junctions
+// beyond the list are crossed straight.
+type Path struct {
+	Turns []network.Turn
+}
+
+// TurnAt implements Route.
+func (p Path) TurnAt(n int) network.Turn {
+	if n >= 0 && n < len(p.Turns) {
+		return p.Turns[n]
+	}
+	return network.Straight
+}
+
+// New returns a vehicle in the just-spawned state.
+func New(id ID, entry network.RoadID, spawnedAt float64, route Route) Vehicle {
+	if route == nil {
+		route = StraightThrough
+	}
+	return Vehicle{
+		ID:        id,
+		EntryRoad: entry,
+		SpawnedAt: spawnedAt,
+		EnteredAt: Unset,
+		ExitedAt:  Unset,
+		Route:     route,
+	}
+}

@@ -1,0 +1,84 @@
+package vehicle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utilbp/internal/network"
+)
+
+func TestNewDefaults(t *testing.T) {
+	v := New(3, 7, 12.5, nil)
+	if v.ID != 3 || v.EntryRoad != 7 || v.SpawnedAt != 12.5 {
+		t.Fatalf("unexpected fields: %+v", v)
+	}
+	if v.EnteredAt != Unset || v.ExitedAt != Unset {
+		t.Fatal("fresh vehicle should have unset times")
+	}
+	if v.InNetwork() || v.Done() {
+		t.Fatal("fresh vehicle should be neither in network nor done")
+	}
+	if v.Route.TurnAt(0) != network.Straight {
+		t.Fatal("nil route should default to straight-through")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	v := New(0, 0, 0, nil)
+	v.EnteredAt = 5
+	if !v.InNetwork() || v.Done() {
+		t.Fatal("entered vehicle should be in network")
+	}
+	if v.TripTime() != Unset {
+		t.Fatal("trip time defined before exit")
+	}
+	v.ExitedAt = 65
+	if v.InNetwork() || !v.Done() {
+		t.Fatal("exited vehicle should be done")
+	}
+	if v.TripTime() != 60 {
+		t.Fatalf("TripTime = %v, want 60", v.TripTime())
+	}
+}
+
+func TestOneTurnRoute(t *testing.T) {
+	r := OneTurn{Turn: network.Left, At: 2}
+	want := []network.Turn{network.Straight, network.Straight, network.Left, network.Straight}
+	for i, w := range want {
+		if got := r.TurnAt(i); got != w {
+			t.Errorf("TurnAt(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestOneTurnProperty(t *testing.T) {
+	f := func(at uint8, n uint8) bool {
+		r := OneTurn{Turn: network.Right, At: int(at % 16)}
+		got := r.TurnAt(int(n % 16))
+		if int(n%16) == int(at%16) {
+			return got == network.Right
+		}
+		return got == network.Straight
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStraightThrough(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if StraightThrough.TurnAt(i) != network.Straight {
+			t.Fatalf("StraightThrough turned at %d", i)
+		}
+	}
+}
+
+func TestPathRoute(t *testing.T) {
+	p := Path{Turns: []network.Turn{network.Left, network.Right}}
+	if p.TurnAt(0) != network.Left || p.TurnAt(1) != network.Right {
+		t.Fatal("path turns wrong")
+	}
+	if p.TurnAt(2) != network.Straight || p.TurnAt(-1) != network.Straight {
+		t.Fatal("out-of-path junctions should be straight")
+	}
+}

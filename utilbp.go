@@ -1,0 +1,112 @@
+// Package utilbp is a Go reproduction of "CPS-oriented Modeling and
+// Control of Traffic Signals Using Adaptive Back Pressure" (Chang, Roy,
+// Zhao, Annaswamy, Chakraborty — DATE 2020).
+//
+// It bundles
+//
+//   - the paper's contribution: the utilization-aware adaptive
+//     back-pressure controller UTIL-BP (internal/core),
+//   - the baselines it is evaluated against: fixed-slot CAP-BP and
+//     ORIG-BP (internal/bp) and a pretimed controller
+//     (internal/fixedtime),
+//   - a from-scratch mesoscopic queue-network traffic simulator standing
+//     in for SUMO (internal/sim, internal/network), and
+//   - the full evaluation harness regenerating every table and figure of
+//     the paper's Section V (internal/experiment, internal/scenario).
+//
+// This root package is the stable facade: build a Setup (the paper's
+// 3×3-grid evaluation constants), pick a Pattern and a controller
+// factory, and Run.
+//
+//	setup := utilbp.DefaultSetup()
+//	res, err := utilbp.Run(utilbp.Spec{
+//	    Setup:   setup,
+//	    Pattern: utilbp.PatternII,
+//	    Factory: setup.UtilBP(),
+//	})
+//	fmt.Println(res.Summary.MeanWait)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// paper-versus-reproduction results.
+package utilbp
+
+import (
+	"utilbp/internal/experiment"
+	"utilbp/internal/network"
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+)
+
+// Setup bundles the paper's evaluation constants (grid geometry, amber
+// duration, alpha/beta, seed). Obtain one from DefaultSetup and adjust.
+type Setup = scenario.Setup
+
+// Pattern selects a Table II traffic pattern.
+type Pattern = scenario.Pattern
+
+// The Table II patterns plus the paper's 4-hour mixed pattern.
+const (
+	PatternI     = scenario.PatternI
+	PatternII    = scenario.PatternII
+	PatternIII   = scenario.PatternIII
+	PatternIV    = scenario.PatternIV
+	PatternMixed = scenario.PatternMixed
+)
+
+// Spec describes one simulation run; Result is its summary.
+type (
+	Spec   = experiment.Spec
+	Result = experiment.Result
+)
+
+// PeriodPoint is one point of the Figure 2 sweep; TableIIIRow one row of
+// Table III.
+type (
+	PeriodPoint = experiment.PeriodPoint
+	TableIIIRow = experiment.TableIIIRow
+	Fig2Data    = experiment.Fig2Data
+)
+
+// Factory builds one signal controller per junction; Setup's UtilBP,
+// CapBP, OrigBP and FixedTime methods return them.
+type Factory = signal.Factory
+
+// GridSpec parameterizes rectangular grid networks for custom scenarios.
+type GridSpec = network.GridSpec
+
+// DefaultSetup returns the paper's Section V configuration: 3×3 grid,
+// W = 120, 4 s amber, alpha = -1, beta = -2, Table I turning
+// probabilities, and the calibrated 0.5 veh/s saturation flow.
+func DefaultSetup() Setup { return scenario.Default() }
+
+// Run executes one simulation to completion and summarizes it.
+func Run(spec Spec) (Result, error) { return experiment.Run(spec) }
+
+// SweepCAPPeriods sweeps CAP-BP's control period (the Figure 2 curve)
+// over the given periods in seconds; nil uses the paper's 10-80 s range.
+// durationSec > 0 shortens the runs.
+func SweepCAPPeriods(setup Setup, pattern Pattern, periods []int, durationSec float64) ([]PeriodPoint, error) {
+	return experiment.SweepCAPPeriods(setup, pattern, periods, durationSec)
+}
+
+// BestPeriod returns the sweep point with the lowest mean queuing time.
+func BestPeriod(points []PeriodPoint) (PeriodPoint, error) {
+	return experiment.BestPeriod(points)
+}
+
+// TableIII regenerates the paper's Table III (nil patterns = all five
+// rows, nil periods = the full sweep, durationSec 0 = paper horizons).
+func TableIII(setup Setup, patterns []Pattern, periods []int, durationSec float64) ([]TableIIIRow, error) {
+	return experiment.TableIII(setup, patterns, periods, durationSec)
+}
+
+// FormatTableIII renders Table III rows as text.
+func FormatTableIII(rows []TableIIIRow) string { return experiment.FormatTableIII(rows) }
+
+// Fig2 regenerates the Figure 2 data on the mixed pattern.
+func Fig2(setup Setup, periods []int, durationSec float64) (Fig2Data, error) {
+	return experiment.Fig2(setup, periods, durationSec)
+}
+
+// FormatFig2 renders the Figure 2 series as text.
+func FormatFig2(d Fig2Data) string { return experiment.FormatFig2(d) }

@@ -1,0 +1,63 @@
+package utilbp
+
+import "testing"
+
+func TestFacadeQuickRun(t *testing.T) {
+	setup := DefaultSetup()
+	setup.Seed = 4
+	res, err := Run(Spec{
+		Setup:       setup,
+		Pattern:     PatternII,
+		Factory:     setup.UtilBP(),
+		DurationSec: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controller != "UTIL-BP" {
+		t.Errorf("controller %q", res.Controller)
+	}
+	if res.Summary.Spawned == 0 {
+		t.Error("no traffic")
+	}
+}
+
+func TestFacadeSweepAndTable(t *testing.T) {
+	setup := DefaultSetup()
+	setup.Seed = 4
+	points, err := SweepCAPPeriods(setup, PatternII, []int{14, 28}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestPeriod(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.PeriodSec != 14 && best.PeriodSec != 28 {
+		t.Errorf("best period %d", best.PeriodSec)
+	}
+	rows, err := TableIII(setup, []Pattern{PatternII}, []int{14, 28}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || FormatTableIII(rows) == "" {
+		t.Error("table III facade failed")
+	}
+	fig, err := Fig2(setup, []int{14}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 1 || FormatFig2(fig) == "" {
+		t.Error("fig2 facade failed")
+	}
+}
+
+func TestPatternConstantsDistinct(t *testing.T) {
+	seen := map[Pattern]bool{}
+	for _, p := range []Pattern{PatternI, PatternII, PatternIII, PatternIV, PatternMixed} {
+		if seen[p] {
+			t.Fatalf("duplicate pattern constant %v", p)
+		}
+		seen[p] = true
+	}
+}
