@@ -1,7 +1,9 @@
 // Benchmarks regenerating the paper's evaluation artifacts, one target
 // per table/figure plus the ablation and sensitivity studies indexed in
-// DESIGN.md. Horizons are shortened (benchmarks are smoke-scale); the
-// full-horizon numbers in EXPERIMENTS.md come from cmd/papereval.
+// DESIGN.md. Horizons are shortened (benchmarks are smoke-scale);
+// full-horizon numbers are regenerated with cmd/papereval, and the
+// performance trajectory (steps/sec, allocs/step, sweep wall time) is
+// tracked by cmd/perfbench in BENCH_*.json (see PERF.md).
 //
 // The interesting output is the custom metrics (cap_wait_s, util_wait_s,
 // improvement_pct, ...) reported next to the usual ns/op.
@@ -13,6 +15,7 @@ import (
 	"utilbp/internal/core"
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sim"
 	"utilbp/internal/stability"
 )
 
@@ -332,12 +335,46 @@ func BenchmarkSensitivityBetaOrder(b *testing.B) {
 
 // BenchmarkEngineSteps measures raw simulator throughput: mini-slots per
 // second on the 3×3 network under UTIL-BP (performance, not fidelity).
+// Arrivals stay on, so the vehicle arena keeps growing and the reported
+// allocations are the spawn path's; BenchmarkStepOnce isolates the
+// steady-state loop instead.
 func BenchmarkEngineSteps(b *testing.B) {
 	setup := benchSetup()
 	engine, _, _, err := experiment.Prepare(Spec{Setup: setup, Pattern: PatternI, Factory: setup.UtilBP()})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	engine.Run(b.N)
+}
+
+// BenchmarkStepOnce measures the steady-state mini-slot: the engine is
+// warmed up under Pattern I demand until lanes, heaps and the vehicle
+// arena have reached their working-set size, then demand stops and the
+// measured steps serve, travel and control the queued traffic. The
+// contract — enforced by TestStepOnceSteadyStateAllocs — is 0 allocs/op.
+// The allocation figure is the point here: ns/op drifts down with long
+// -benchtime as the network drains (use BenchmarkEngineSteps for loaded
+// throughput).
+func BenchmarkStepOnce(b *testing.B) {
+	const warmup = 900
+	setup := benchSetup()
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+		Router:      built.Router,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.Run(warmup + 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	engine.Run(b.N)
 }

@@ -1,0 +1,228 @@
+// Command perfbench measures the simulator's performance envelope and
+// writes it to a JSON file, establishing the perf trajectory across PRs
+// (BENCH_1.json, BENCH_2.json, ...; see PERF.md for the history and the
+// exact regeneration commands).
+//
+// It reports three measurements:
+//
+//   - loaded engine throughput: mini-slots per second with Pattern I
+//     demand flowing, including the vehicle-spawn path;
+//   - steady-state stepOnce: the same loop after demand quiesces, where
+//     the hot path must perform zero heap allocations;
+//   - the Table III multi-seed sweep wall time, through the pooled
+//     worker scheduler and optionally the serial reference path.
+//
+// Example:
+//
+//	perfbench -out BENCH_1.json -seeds 8 -note "post hot-path rewrite"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"utilbp/internal/experiment"
+	"utilbp/internal/scenario"
+	"utilbp/internal/sim"
+)
+
+// Report is the schema of BENCH_*.json.
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	Note        string `json:"note,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	LoadedStep StepReport  `json:"loaded_step"`
+	SteadyStep StepReport  `json:"steady_step"`
+	Sweeps     []SweepTime `json:"sweeps"`
+}
+
+// StepReport summarizes a stepping measurement.
+type StepReport struct {
+	Steps         int     `json:"steps"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	BytesPerStep  float64 `json:"bytes_per_step"`
+}
+
+// SweepTime is the wall time of one experiment-layer sweep.
+type SweepTime struct {
+	Name        string  `json:"name"`
+	Patterns    int     `json:"patterns"`
+	Seeds       int     `json:"seeds"`
+	Periods     int     `json:"periods"`
+	DurationSec float64 `json:"duration_sec"` // 0 = paper horizons
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH.json", "output JSON path")
+		note     = flag.String("note", "", "free-form note recorded in the report")
+		steps    = flag.Int("steps", 200000, "mini-slots for the loaded measurement")
+		steady   = flag.Int("steady-steps", 2000, "mini-slots for the steady-state measurement (kept short so the quiesced network is still carrying traffic)")
+		warmup   = flag.Int("warmup", 900, "warmup mini-slots before the steady-state measurement")
+		seeds    = flag.Int("seeds", 8, "seeds for the Table III multi-seed sweep")
+		seed     = flag.Uint64("seed", 1, "first seed (seeds are consecutive)")
+		duration = flag.Float64("duration", 0, "sweep horizon override in seconds (0 = paper horizons)")
+		minP     = flag.Int("min-period", 10, "CAP-BP sweep start (s)")
+		maxP     = flag.Int("max-period", 80, "CAP-BP sweep end (s)")
+		stepP    = flag.Int("step", 10, "CAP-BP sweep step (s)")
+		serial   = flag.Bool("serial", false, "also time the serial reference scheduler")
+	)
+	flag.Parse()
+
+	setup := scenario.Default()
+	setup.Seed = *seed
+	report := Report{
+		GeneratedBy: "cmd/perfbench",
+		Note:        *note,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	loaded, err := measureLoaded(setup, *steps)
+	if err != nil {
+		fatal(err)
+	}
+	report.LoadedStep = loaded
+	fmt.Printf("loaded step:  %.0f steps/s, %.2f allocs/step\n", loaded.StepsPerSec, loaded.AllocsPerStep)
+
+	steadyRep, err := measureSteady(setup, *warmup, *steady)
+	if err != nil {
+		fatal(err)
+	}
+	report.SteadyStep = steadyRep
+	fmt.Printf("steady step:  %.0f steps/s, %.4f allocs/step\n", steadyRep.StepsPerSec, steadyRep.AllocsPerStep)
+
+	var periods []int
+	for p := *minP; p <= *maxP; p += *stepP {
+		periods = append(periods, p)
+	}
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + uint64(i)
+	}
+
+	sweeps := []struct {
+		name string
+		run  func() error
+	}{
+		{"table3_multiseed_pooled", func() error {
+			_, err := experiment.TableIIIMultiSeed(setup, nil, periods, *duration, seedList)
+			return err
+		}},
+	}
+	if *serial {
+		sweeps = append(sweeps, struct {
+			name string
+			run  func() error
+		}{"table3_multiseed_serial", func() error {
+			_, err := experiment.TableIIIMultiSeedSerial(setup, nil, periods, *duration, seedList)
+			return err
+		}})
+	}
+	for _, s := range sweeps {
+		start := time.Now()
+		if err := s.run(); err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start).Seconds()
+		report.Sweeps = append(report.Sweeps, SweepTime{
+			Name:        s.name,
+			Patterns:    len(scenario.AllPatterns),
+			Seeds:       len(seedList),
+			Periods:     len(periods),
+			DurationSec: *duration,
+			WallSeconds: wall,
+		})
+		fmt.Printf("%s: %.3fs (%d patterns x %d seeds x %d periods + UTIL runs)\n",
+			s.name, wall, len(scenario.AllPatterns), len(seedList), len(periods))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// measureLoaded times the engine with Pattern I demand flowing.
+func measureLoaded(setup scenario.Setup, steps int) (StepReport, error) {
+	engine, _, _, err := experiment.Prepare(experiment.Spec{
+		Setup: setup, Pattern: scenario.PatternI, Factory: setup.UtilBP(),
+	})
+	if err != nil {
+		return StepReport{}, err
+	}
+	return timeSteps(engine, steps), nil
+}
+
+// measureSteady warms an engine up, cuts demand, and times the quiesced
+// loop — the configuration whose contract is zero allocations per step.
+// The window must stay short (the -steady-steps default): once the
+// queued traffic drains to the terminals the loop steps an empty
+// network, and a long window would average that in and overstate
+// throughput.
+func measureSteady(setup scenario.Setup, warmup, steps int) (StepReport, error) {
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		return StepReport{}, err
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+		Router:      built.Router,
+	})
+	if err != nil {
+		return StepReport{}, err
+	}
+	engine.Run(warmup + 20)
+	return timeSteps(engine, steps), nil
+}
+
+// timeSteps advances the engine and reports wall time and allocation
+// counts per mini-slot.
+func timeSteps(engine *sim.Engine, steps int) StepReport {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	engine.Run(steps)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return StepReport{
+		Steps:         steps,
+		WallSeconds:   wall,
+		NsPerStep:     wall * 1e9 / float64(steps),
+		StepsPerSec:   float64(steps) / wall,
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(steps),
+		BytesPerStep:  float64(after.TotalAlloc-before.TotalAlloc) / float64(steps),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module utilbp
+
+go 1.24

@@ -8,8 +8,8 @@ import (
 // TestGoldenReproducibility pins exact outputs for fixed seeds. Every run
 // is a pure function of the seed (see README "Determinism"), so these
 // values must not drift between commits: a change here means simulation
-// behaviour changed and EXPERIMENTS.md needs regenerating. Update the
-// constants deliberately when a behaviour change is intended.
+// behaviour changed and the cmd/papereval artifacts need regenerating.
+// Update the constants deliberately when a behaviour change is intended.
 func TestGoldenReproducibility(t *testing.T) {
 	setup := DefaultSetup()
 	setup.Seed = 2026

@@ -49,9 +49,17 @@ type Controller struct {
 	opts   Options
 	params Params
 	gains  []float64
+	// scores is selectPhase's per-phase scratch space, kept on the
+	// controller so re-selection allocates nothing.
+	scores []phaseScore
 	// amberUntil is t_Δk expressed as a step index: the transition
 	// phase runs while obs.Step < amberUntil.
 	amberUntil int
+}
+
+// phaseScore carries one phase's eq. (10)/(11) gains during selection.
+type phaseScore struct {
+	gmax, total float64
 }
 
 // New builds a UTIL-BP controller for a junction.
@@ -72,6 +80,7 @@ func New(info signal.JunctionInfo, opts Options) (*Controller, error) {
 		opts:   opts,
 		params: params,
 		gains:  make([]float64, info.NumLinks),
+		scores: make([]phaseScore, len(info.Phases)),
 	}, nil
 }
 
@@ -124,14 +133,11 @@ func (c *Controller) Decide(obs *signal.Obs) signal.Phase {
 // the current phase (avoiding a pointless transition), then the lowest
 // phase number.
 func (c *Controller) selectPhase(cur signal.Phase) signal.Phase {
-	type scored struct {
-		gmax, total float64
-	}
-	scores := make([]scored, len(c.info.Phases))
+	scores := c.scores
 	anyUsable := false
 	for pi, phase := range c.info.Phases {
 		gmax, _ := PhaseMaxGain(c.gains, phase)
-		scores[pi] = scored{gmax: gmax, total: PhaseGain(c.gains, phase)}
+		scores[pi] = phaseScore{gmax: gmax, total: PhaseGain(c.gains, phase)}
 		if gmax > c.params.Alpha {
 			anyUsable = true
 		}

@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"utilbp/internal/analysis"
 	"utilbp/internal/scenario"
@@ -20,44 +22,79 @@ type SeedStats struct {
 	Wins int
 }
 
-// TableIIIMultiSeed runs the Table III comparison across seeds and
-// aggregates the improvement distribution per pattern. Seeds run in
-// parallel (each TableIII call already parallelizes its own sweep, so
-// the pattern loop here stays serial to bound concurrency).
-func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("experiment: at least one seed required")
+// sweepPlan enumerates every independent cell of the Table III multi-seed
+// sweep: for each (pattern, seed) group, one CAP-BP run per period plus
+// one UTIL-BP run. Cells are identified by a flat index so workers can
+// write results into pre-sized slices and aggregation stays in
+// deterministic (pattern, seed, period) order no matter which worker
+// finishes when.
+type sweepPlan struct {
+	patterns []scenario.Pattern
+	periods  []int
+	seeds    []uint64
+}
+
+// perGroup returns the number of cells in one (pattern, seed) group: the
+// CAP-BP period sweep plus the UTIL-BP run.
+func (p *sweepPlan) perGroup() int { return len(p.periods) + 1 }
+
+// cells returns the total cell count.
+func (p *sweepPlan) cells() int { return len(p.patterns) * len(p.seeds) * p.perGroup() }
+
+// cell decomposes a flat index into (pattern index, seed index, job),
+// where job < len(periods) selects CAP-BP at periods[job] and
+// job == len(periods) selects the UTIL-BP run.
+func (p *sweepPlan) cell(idx int) (pi, si, job int) {
+	job = idx % p.perGroup()
+	group := idx / p.perGroup()
+	return group / len(p.seeds), group % len(p.seeds), job
+}
+
+// runCell executes one cell and returns its network-mean queuing time.
+func (p *sweepPlan) runCell(base scenario.Setup, idx int, durationSec float64) (float64, error) {
+	pi, si, job := p.cell(idx)
+	setup := base
+	setup.Seed = p.seeds[si]
+	spec := Spec{Setup: setup, Pattern: p.patterns[pi], DurationSec: durationSec}
+	if job < len(p.periods) {
+		spec.Factory = setup.CapBP(p.periods[job])
+	} else {
+		spec.Factory = setup.UtilBP()
 	}
-	if patterns == nil {
-		patterns = scenario.AllPatterns
+	res, err := Run(spec)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: pattern %v seed %d %s: %w",
+			p.patterns[pi], p.seeds[si], cellLabel(p.periods, job), err)
 	}
-	out := make([]SeedStats, 0, len(patterns))
-	for _, pat := range patterns {
-		stats := SeedStats{Pattern: pat, Improvements: make([]float64, len(seeds))}
-		errs := make([]error, len(seeds))
-		var wg sync.WaitGroup
-		for si, seed := range seeds {
-			wg.Add(1)
-			go func(si int, seed uint64) {
-				defer wg.Done()
-				setup := base
-				setup.Seed = seed
-				rows, err := TableIII(setup, []scenario.Pattern{pat}, periods, durationSec)
-				if err != nil {
-					errs[si] = err
-					return
-				}
-				stats.Improvements[si] = rows[0].ImprovementPct
-			}(si, seed)
-		}
-		wg.Wait()
-		for _, err := range errs {
+	return res.Summary.MeanWait, nil
+}
+
+func cellLabel(periods []int, job int) string {
+	if job < len(periods) {
+		return fmt.Sprintf("CAP-BP period %d", periods[job])
+	}
+	return "UTIL-BP"
+}
+
+// aggregate folds the per-cell mean waits into SeedStats rows, in pattern
+// order, reproducing exactly what the serial path computes: per (pattern,
+// seed) the best (first-minimum) CAP-BP period is the baseline the UTIL-BP
+// run is compared against.
+func (p *sweepPlan) aggregate(waits []float64) ([]SeedStats, error) {
+	out := make([]SeedStats, 0, len(p.patterns))
+	per := p.perGroup()
+	for pi, pat := range p.patterns {
+		stats := SeedStats{Pattern: pat, Improvements: make([]float64, len(p.seeds))}
+		for si := range p.seeds {
+			group := waits[(pi*len(p.seeds)+si)*per:][:per]
+			capWaits := group[:len(p.periods)]
+			best := capWaits[analysis.ArgMin(capWaits)]
+			imp, err := analysis.Improvement(best, group[len(p.periods)])
 			if err != nil {
 				return nil, err
 			}
-		}
-		for _, imp := range stats.Improvements {
-			if imp > 0 {
+			stats.Improvements[si] = imp * 100
+			if stats.Improvements[si] > 0 {
 				stats.Wins++
 			}
 		}
@@ -66,6 +103,92 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 		out = append(out, stats)
 	}
 	return out, nil
+}
+
+func newSweepPlan(patterns []scenario.Pattern, periods []int, seeds []uint64) (*sweepPlan, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: at least one seed required")
+	}
+	if patterns == nil {
+		patterns = scenario.AllPatterns
+	}
+	if len(periods) == 0 {
+		periods = DefaultPeriods()
+	}
+	return &sweepPlan{patterns: patterns, periods: periods, seeds: seeds}, nil
+}
+
+// TableIIIMultiSeed runs the Table III comparison across seeds and
+// aggregates the improvement distribution per pattern. Every
+// (pattern × seed × period) cell of the sweep — plus each group's UTIL-BP
+// run — is an independent job scheduled onto a worker pool sized to
+// runtime.GOMAXPROCS, so the whole sweep saturates the machine instead of
+// serializing behind per-pattern barriers. Results are written into
+// cell-indexed slots and aggregated in plan order, making the output
+// bit-for-bit identical to TableIIIMultiSeedSerial for the same inputs.
+func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
+	plan, err := newSweepPlan(patterns, periods, seeds)
+	if err != nil {
+		return nil, err
+	}
+	n := plan.cells()
+	waits := make([]float64, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	// failed stops job submission early: a paper-scale sweep is minutes
+	// of compute, so once any cell errors the remaining cells are not
+	// worth running. In-flight cells still finish before wg.Wait
+	// returns, and the error reported is the first in cell order among
+	// those that ran.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				waits[idx], errs[idx] = plan.runCell(base, idx, durationSec)
+				if errs[idx] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for idx := 0; idx < n && !failed.Load(); idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan.aggregate(waits)
+}
+
+// TableIIIMultiSeedSerial is the strictly sequential reference
+// implementation of TableIIIMultiSeed: one goroutine, cells executed in
+// plan order. The pooled scheduler is tested to produce bit-for-bit
+// identical SeedStats; keep the two in lockstep when changing either.
+func TableIIIMultiSeedSerial(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
+	plan, err := newSweepPlan(patterns, periods, seeds)
+	if err != nil {
+		return nil, err
+	}
+	waits := make([]float64, plan.cells())
+	for idx := range waits {
+		w, err := plan.runCell(base, idx, durationSec)
+		if err != nil {
+			return nil, err
+		}
+		waits[idx] = w
+	}
+	return plan.aggregate(waits)
 }
 
 // FormatSeedStats renders the multi-seed table.

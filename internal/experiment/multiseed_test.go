@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -40,5 +41,37 @@ func TestTableIIIMultiSeed(t *testing.T) {
 func TestTableIIIMultiSeedRequiresSeeds(t *testing.T) {
 	if _, err := TableIIIMultiSeed(quickSetup(), nil, []int{20}, 300, nil); err == nil {
 		t.Fatal("empty seed list accepted")
+	}
+	if _, err := TableIIIMultiSeedSerial(quickSetup(), nil, []int{20}, 300, nil); err == nil {
+		t.Fatal("empty seed list accepted by serial path")
+	}
+}
+
+// TestMultiSeedSchedulerDeterminism pins the worker-pool scheduler to the
+// serial reference: same cells, same aggregation order, bit-for-bit
+// identical SeedStats (floats compared exactly, not approximately).
+func TestMultiSeedSchedulerDeterminism(t *testing.T) {
+	setup := quickSetup()
+	patterns := []scenario.Pattern{scenario.PatternI, scenario.PatternIV}
+	periods := []int{18, 30}
+	seeds := []uint64{1, 2, 3}
+	parallel, err := TableIIIMultiSeed(setup, patterns, periods, 700, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := TableIIIMultiSeedSerial(setup, patterns, periods, 700, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel, serial) {
+		t.Fatalf("pooled scheduler diverges from serial reference:\npooled: %+v\nserial: %+v", parallel, serial)
+	}
+	// Re-running the pooled path must also be self-deterministic.
+	again, err := TableIIIMultiSeed(setup, patterns, periods, 700, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel, again) {
+		t.Fatalf("pooled scheduler is not repeatable:\nfirst: %+v\nsecond: %+v", parallel, again)
 	}
 }

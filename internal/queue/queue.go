@@ -2,9 +2,13 @@
 // dedicated turning-lane queue (vehicles waiting at a stop line with their
 // enqueue times) and a time-ordered heap for vehicles travelling along a
 // road toward it.
+//
+// Both containers are allocation-free in steady state: once their backing
+// slices have grown to the working-set size, push/pop traffic reuses the
+// storage. Travel implements its sift operations directly on []Arrival
+// rather than through container/heap, whose interface methods box every
+// element and would put two heap allocations on the per-vehicle hot path.
 package queue
-
-import "container/heap"
 
 // Item is one queued vehicle: its identifier and the time it joined the
 // queue, from which waiting time is computed at service.
@@ -75,30 +79,18 @@ type Arrival struct {
 	seq     int
 }
 
-// arrivalHeap implements container/heap ordering by (At, seq).
-type arrivalHeap []Arrival
-
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// less orders arrivals by (At, seq).
+func (a Arrival) less(b Arrival) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return h[i].seq < h[j].seq
-}
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(Arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // Travel holds vehicles in transit along one road, ordered by stop-line
 // arrival time. The zero value is ready to use.
 type Travel struct {
-	h   arrivalHeap
+	h   []Arrival
 	seq int
 }
 
@@ -108,7 +100,18 @@ func (t *Travel) Len() int { return len(t.h) }
 // Add schedules a vehicle to reach the stop line at time at.
 func (t *Travel) Add(vehicle int, at float64) {
 	t.seq++
-	heap.Push(&t.h, Arrival{At: at, Vehicle: vehicle, seq: t.seq})
+	t.h = append(t.h, Arrival{At: at, Vehicle: vehicle, seq: t.seq})
+	// Sift up.
+	h := t.h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
 // PopDue removes and returns the earliest vehicle whose arrival time is
@@ -117,7 +120,38 @@ func (t *Travel) PopDue(deadline float64) (Arrival, bool) {
 	if len(t.h) == 0 || t.h[0].At > deadline {
 		return Arrival{}, false
 	}
-	return heap.Pop(&t.h).(Arrival), true
+	h := t.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = Arrival{}
+	h = h[:n]
+	t.h = h
+	// Sift down.
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].less(h[child]) {
+			child = r
+		}
+		if !h[child].less(h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top, true
+}
+
+// Reset empties the transit set, keeping the backing storage and the
+// sequence counter (determinism only needs relative order within a run,
+// but Reset rewinds the counter too so replays are byte-identical).
+func (t *Travel) Reset() {
+	t.h = t.h[:0]
+	t.seq = 0
 }
 
 // Peek returns the earliest in-transit vehicle without removing it.

@@ -171,6 +171,17 @@ func (r *Source) Exp(mean float64) float64 {
 // approximation for large ones (mean > 60), which is ample for traffic
 // arrival counts per mini-slot.
 func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 || mean > 60 {
+		// The limit is only consulted by the Knuth branch.
+		return r.PoissonWithLimit(mean, 0)
+	}
+	return r.PoissonWithLimit(mean, math.Exp(-mean))
+}
+
+// PoissonWithLimit is Poisson for callers that sample the same mean every
+// slot and cache limit = exp(-mean), keeping the transcendental out of the
+// per-slot hot path. It produces the identical sequence to Poisson.
+func (r *Source) PoissonWithLimit(mean, limit float64) int {
 	switch {
 	case mean <= 0:
 		return 0
@@ -182,7 +193,6 @@ func (r *Source) Poisson(mean float64) int {
 		}
 		return int(n)
 	default:
-		limit := math.Exp(-mean)
 		k := 0
 		p := 1.0
 		for {

@@ -13,10 +13,11 @@ import (
 // is selected randomly" — uniformly among the junctions on its straight
 // path; after the turn it continues straight to the boundary.
 type Router struct {
-	src     *rng.Source
-	probs   map[network.Dir]TurnProbs
-	sideOf  map[network.RoadID]network.Dir
-	pathLen map[network.Dir]int
+	src   *rng.Source
+	probs [4]TurnProbs
+	// sideOf is road-indexed (dense IDs); -1 marks a non-entry road.
+	sideOf  []int8
+	pathLen [4]int
 }
 
 // NewRouter builds the router for a grid. probs defaults to Table I when
@@ -26,14 +27,18 @@ func NewRouter(g *network.GridNetwork, probs map[network.Dir]TurnProbs, src *rng
 		probs = TableI
 	}
 	r := &Router{
-		src:     src,
-		probs:   probs,
-		sideOf:  make(map[network.RoadID]network.Dir),
-		pathLen: make(map[network.Dir]int),
+		src:    src,
+		sideOf: make([]int8, len(g.Network.Roads)),
+	}
+	for i := range r.sideOf {
+		r.sideOf[i] = -1
 	}
 	for _, side := range network.Dirs {
+		r.probs[side] = probs[side]
 		for _, rid := range g.Entries(side) {
-			r.sideOf[rid] = side
+			if int(rid) >= 0 && int(rid) < len(r.sideOf) {
+				r.sideOf[rid] = int8(side)
+			}
 		}
 		// A vehicle entering from the north or south crosses Rows
 		// junctions going straight; east/west crosses Cols.
@@ -46,12 +51,19 @@ func NewRouter(g *network.GridNetwork, probs map[network.Dir]TurnProbs, src *rng
 	return r
 }
 
+// Reseed implements sim.Reseeder: it rewinds the route stream to the one
+// a fresh Build with the given seed would derive, so Engine.Reset replays
+// identically to a newly built scenario.
+func (r *Router) Reseed(seed uint64) {
+	r.src = rng.New(seed).Split("routes")
+}
+
 // Route implements sim.RouteChooser.
 func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Route {
-	side, ok := r.sideOf[entry]
-	if !ok {
+	if entry < 0 || int(entry) >= len(r.sideOf) || r.sideOf[entry] < 0 {
 		return vehicle.StraightThrough
 	}
+	side := network.Dir(r.sideOf[entry])
 	p := r.probs[side]
 	u := r.src.Float64()
 	var turn network.Turn

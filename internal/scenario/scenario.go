@@ -201,9 +201,13 @@ func (s Setup) Build(pattern Pattern) (*Built, error) {
 		scale := s.DemandScale
 		rate = func(r network.RoadID, t float64) float64 { return scale * base(r, t) }
 	}
+	demand := sim.NewPoissonDemand(root.Split("demand"), rate)
+	demand.SetDerivation(func(seed uint64) *rng.Source {
+		return rng.New(seed).Split("demand")
+	})
 	return &Built{
 		Grid:     g,
-		Demand:   sim.NewPoissonDemand(root.Split("demand"), rate),
+		Demand:   demand,
 		Router:   NewRouter(g, s.TurnProbs, root.Split("routes")),
 		Duration: pattern.Duration(),
 		Setup:    s,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"utilbp/internal/network"
@@ -20,39 +21,93 @@ type ArrivalProcess interface {
 // road at simulation time t. Returning 0 silences the road.
 type RateFunc func(road network.RoadID, t float64) float64
 
+// Reseeder rewinds a randomized collaborator (arrival process, router) to
+// the fresh deterministic state it would have when built for the given run
+// seed. Engine.Reset forwards its seed to the Config's Demand and Router
+// when they implement it, so a reset engine replays exactly like a newly
+// constructed one.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
 // PoissonDemand draws per-slot arrival counts from independent Poisson
 // distributions, one deterministic stream per entry road, per Section II-B
 // of the paper ("the arrival of vehicles at each incoming road is an
 // exogenous process ... Poisson distribution").
+//
+// Streams live in a dense road-indexed slice, and each caches the
+// exp(-λΔt) limit of the Knuth sampler for the last seen rate, so a
+// steady-rate road costs no map lookup and no transcendental per slot.
 type PoissonDemand struct {
 	rate    RateFunc
-	streams map[network.RoadID]*rng.Source
+	streams []poissonStream
 	root    *rng.Source
+	derive  func(seed uint64) *rng.Source
+}
+
+// poissonStream is one entry road's arrival stream plus its cached
+// sampler limit for the last seen per-slot mean.
+type poissonStream struct {
+	src   *rng.Source
+	mean  float64 // λΔt the cached limit was computed for
+	limit float64 // exp(-mean)
 }
 
 // NewPoissonDemand builds a Poisson arrival process over the given rate
 // function, deriving per-road streams from root so results do not depend
 // on the set or order of other RNG consumers.
 func NewPoissonDemand(root *rng.Source, rate RateFunc) *PoissonDemand {
-	return &PoissonDemand{
-		rate:    rate,
-		streams: make(map[network.RoadID]*rng.Source),
-		root:    root,
-	}
+	return &PoissonDemand{rate: rate, root: root}
 }
 
-// Arrivals implements ArrivalProcess.
+// SetDerivation installs the seed→root mapping Reseed uses, letting the
+// scenario layer own how a run seed derives the demand stream (e.g.
+// rng.New(seed).Split("demand")) without this package knowing the labels.
+// Without it, Reseed assumes the root passed to NewPoissonDemand was
+// rng.New(seed); if the root was derived any other way, Engine.Reset's
+// replay-equals-fresh-build contract needs a matching derivation here.
+func (p *PoissonDemand) SetDerivation(derive func(seed uint64) *rng.Source) {
+	p.derive = derive
+}
+
+// Reseed implements Reseeder: it re-derives the root stream for the given
+// run seed (via the installed derivation, defaulting to rng.New — see
+// SetDerivation) and forgets every per-road stream so they re-split from
+// the new root.
+func (p *PoissonDemand) Reseed(seed uint64) {
+	if p.derive != nil {
+		p.root = p.derive(seed)
+	} else {
+		p.root = rng.New(seed)
+	}
+	clear(p.streams)
+}
+
+// Arrivals implements ArrivalProcess. Invalid (negative) road IDs
+// generate nothing.
 func (p *PoissonDemand) Arrivals(road network.RoadID, _ int, t, dt float64) int {
+	if road < 0 {
+		return 0
+	}
 	lambda := p.rate(road, t)
 	if lambda <= 0 || dt <= 0 {
 		return 0
 	}
-	s := p.streams[road]
-	if s == nil {
-		s = p.root.SplitIndexed("arrivals", int(road))
-		p.streams[road] = s
+	if int(road) >= len(p.streams) {
+		grown := make([]poissonStream, road+1)
+		copy(grown, p.streams)
+		p.streams = grown
 	}
-	return s.Poisson(lambda * dt)
+	s := &p.streams[road]
+	if s.src == nil {
+		s.src = p.root.SplitIndexed("arrivals", int(road))
+	}
+	mean := lambda * dt
+	if mean != s.mean {
+		s.mean = mean
+		s.limit = math.Exp(-mean)
+	}
+	return s.src.PoissonWithLimit(mean, s.limit)
 }
 
 // ConstantRate returns a RateFunc with the same rate on every listed road
@@ -78,14 +133,27 @@ func ConstantRate(rate float64, roads ...network.RoadID) RateFunc {
 // are silent.
 type RateTable map[network.RoadID]float64
 
-// Rate returns the RateFunc for the table.
+// Rate returns the RateFunc for the table. Road IDs are dense, so the
+// table is flattened into a slice once and every per-slot query is an
+// index, not a map lookup.
 func (rt RateTable) Rate() RateFunc {
+	maxRoad := -1
+	for r := range rt {
+		if int(r) > maxRoad {
+			maxRoad = int(r)
+		}
+	}
+	dense := make([]float64, maxRoad+1)
+	for r, mean := range rt {
+		if int(r) >= 0 && mean > 0 {
+			dense[r] = 1 / mean
+		}
+	}
 	return func(r network.RoadID, _ float64) float64 {
-		mean, ok := rt[r]
-		if !ok || mean <= 0 {
+		if r < 0 || int(r) >= len(dense) {
 			return 0
 		}
-		return 1 / mean
+		return dense[r]
 	}
 }
 
@@ -133,6 +201,30 @@ func (p *Piecewise) Rate() RateFunc {
 			idx = len(segs) - 1
 		}
 		return segs[idx].rate(r, t)
+	}
+}
+
+// CutoffDemand forwards to Inner until CutoffStep, then goes silent. It
+// lets benchmarks and tests reach a quiesced steady state in which the
+// engine's zero-allocation contract can be observed (injecting a vehicle
+// necessarily allocates arena and route memory).
+type CutoffDemand struct {
+	Inner      ArrivalProcess
+	CutoffStep int
+}
+
+// Arrivals implements ArrivalProcess.
+func (d *CutoffDemand) Arrivals(road network.RoadID, step int, t, dt float64) int {
+	if step >= d.CutoffStep {
+		return 0
+	}
+	return d.Inner.Arrivals(road, step, t, dt)
+}
+
+// Reseed implements Reseeder by forwarding to Inner when it supports it.
+func (d *CutoffDemand) Reseed(seed uint64) {
+	if r, ok := d.Inner.(Reseeder); ok {
+		r.Reseed(seed)
 	}
 }
 

@@ -1,0 +1,115 @@
+// Steady-state performance contracts of the engine hot path: once the
+// working set is warm, stepOnce must not touch the heap, and Engine.Reset
+// must replay a run bit-for-bit without re-allocating the engine. The
+// tests live in an external package so they can drive the engine through
+// the scenario layer like the experiment harness does.
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/scenario"
+	"utilbp/internal/sim"
+)
+
+// warmEngine builds a Pattern I engine under UTIL-BP whose demand stops
+// after warmup steps, then runs it to the edge of the quiet period.
+func warmEngine(t testing.TB, warmup int) *sim.Engine {
+	t.Helper()
+	setup := scenario.Default()
+	setup.Seed = 7
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+		Router:      built.Router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(warmup + 20)
+	return engine
+}
+
+// TestStepOnceSteadyStateAllocs is the zero-allocation regression gate:
+// with the arena, lanes and heaps grown during warmup and no fresh
+// arrivals, advancing the simulation must perform zero heap allocations.
+func TestStepOnceSteadyStateAllocs(t *testing.T) {
+	engine := warmEngine(t, 600)
+	if engine.Totals().Spawned == 0 {
+		t.Fatal("warmup spawned no vehicles")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		engine.Run(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state stepOnce allocates: %v allocs per Run(5), want 0", allocs)
+	}
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runFresh builds and runs a fresh engine for the seed and returns it.
+func runFresh(t *testing.T, seed uint64, steps int) *sim.Engine {
+	t.Helper()
+	setup := scenario.Default()
+	setup.Seed = seed
+	built, err := setup.Build(scenario.PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      built.Demand,
+		Router:      built.Router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(steps)
+	return engine
+}
+
+// TestResetReplaysIdentically checks the Engine.Reset contract: a reset
+// engine re-run with a seed must match a freshly constructed engine for
+// that seed vehicle-for-vehicle, both for the original seed and for a new
+// one.
+func TestResetReplaysIdentically(t *testing.T) {
+	const steps = 900
+	engine := runFresh(t, 3, steps)
+
+	for _, seed := range []uint64{3, 4} {
+		if err := engine.Reset(seed); err != nil {
+			t.Fatal(err)
+		}
+		if engine.Step() != 0 || engine.Totals() != (sim.Totals{}) {
+			t.Fatalf("reset left state: step=%d totals=%+v", engine.Step(), engine.Totals())
+		}
+		engine.Run(steps)
+		if err := engine.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fresh := runFresh(t, seed, steps)
+		if engine.Totals() != fresh.Totals() {
+			t.Fatalf("seed %d: reset totals %+v != fresh totals %+v", seed, engine.Totals(), fresh.Totals())
+		}
+		if !reflect.DeepEqual(engine.Vehicles(), fresh.Vehicles()) {
+			t.Fatalf("seed %d: reset vehicle arena diverges from fresh run", seed)
+		}
+		for rid := range fresh.Network().Roads {
+			id := network.RoadID(rid)
+			if engine.Occupancy(id) != fresh.Occupancy(id) || engine.ApproachQueue(id) != fresh.ApproachQueue(id) {
+				t.Fatalf("seed %d: road %d state diverges (occ %d/%d, queue %d/%d)", seed, rid,
+					engine.Occupancy(id), fresh.Occupancy(id), engine.ApproachQueue(id), fresh.ApproachQueue(id))
+			}
+		}
+	}
+}

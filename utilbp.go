@@ -26,8 +26,9 @@
 //	})
 //	fmt.Println(res.Summary.MeanWait)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// paper-versus-reproduction results.
+// See DESIGN.md for the system inventory and PERF.md for the measured
+// performance trajectory; regenerate the paper-versus-reproduction
+// artifacts with cmd/papereval.
 package utilbp
 
 import (
