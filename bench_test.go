@@ -335,9 +335,9 @@ func BenchmarkSensitivityBetaOrder(b *testing.B) {
 
 // BenchmarkEngineSteps measures raw simulator throughput: mini-slots per
 // second on the 3×3 network under UTIL-BP (performance, not fidelity).
-// Arrivals stay on, so the vehicle arena keeps growing and the reported
-// allocations are the spawn path's; BenchmarkStepOnce isolates the
-// steady-state loop instead.
+// Arrivals stay on; since PR 2 the spawn path allocates nothing either
+// (vehicle.Plan values, pre-sized arena), so the only residual
+// allocations are amortized arena growth past the pre-sized horizon.
 func BenchmarkEngineSteps(b *testing.B) {
 	setup := benchSetup()
 	engine, _, _, err := experiment.Prepare(Spec{Setup: setup, Pattern: PatternI, Factory: setup.UtilBP()})
@@ -349,34 +349,51 @@ func BenchmarkEngineSteps(b *testing.B) {
 	engine.Run(b.N)
 }
 
-// BenchmarkStepOnce measures the steady-state mini-slot: the engine is
-// warmed up under Pattern I demand until lanes, heaps and the vehicle
-// arena have reached their working-set size, then demand stops and the
-// measured steps serve, travel and control the queued traffic. The
-// contract — enforced by TestStepOnceSteadyStateAllocs — is 0 allocs/op.
-// The allocation figure is the point here: ns/op drifts down with long
-// -benchtime as the network drains (use BenchmarkEngineSteps for loaded
-// throughput).
+// BenchmarkStepOnce measures the full mini-slot including the spawn
+// path: the engine is warmed up under Pattern I demand until lanes,
+// heaps and the pre-sized vehicle arena have reached their working-set
+// size, then the same seed is replayed in horizon-sized chunks via
+// Engine.Reset so arrivals keep flowing for any -benchtime without the
+// arena growing. The contract — enforced by TestSpawnPathAllocs and
+// TestStepOnceSteadyStateAllocs — is 0 allocs/op with traffic flowing
+// and vehicles spawning every measured step.
 func BenchmarkStepOnce(b *testing.B) {
-	const warmup = 900
+	const horizon = 2000
 	setup := benchSetup()
 	built, err := setup.Build(scenario.PatternI)
 	if err != nil {
 		b.Fatal(err)
 	}
 	engine, err := sim.New(sim.Config{
-		Net:         built.Grid.Network,
-		Controllers: setup.UtilBP(),
-		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
-		Router:      built.Router,
+		Net:              built.Grid.Network,
+		Controllers:      setup.UtilBP(),
+		Demand:           built.Demand,
+		Router:           built.Router,
+		ExpectedVehicles: built.ExpectedVehicles(horizon),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	engine.Run(warmup + 20)
+	engine.Run(horizon) // grow the working set over one full horizon
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	used := 0
 	b.ReportAllocs()
 	b.ResetTimer()
-	engine.Run(b.N)
+	for i := 0; i < b.N; i++ {
+		if used == horizon {
+			// Rewind and replay the identical horizon; Reset's own cost
+			// (controller rebuild, stream reseed) amortizes over the
+			// chunk and the replay never exceeds the grown capacity.
+			if err := engine.Reset(setup.Seed); err != nil {
+				b.Fatal(err)
+			}
+			used = 0
+		}
+		engine.Run(1)
+		used++
+	}
 }
 
 func benchName(prefix string, v int) string {

@@ -6,15 +6,20 @@
 // It reports three measurements:
 //
 //   - loaded engine throughput: mini-slots per second with Pattern I
-//     demand flowing, including the vehicle-spawn path;
+//     demand flowing, including the vehicle-spawn path (which since PR 2
+//     is itself allocation-free: vehicle.Plan values, pre-sized arena);
 //   - steady-state stepOnce: the same loop after demand quiesces, where
 //     the hot path must perform zero heap allocations;
 //   - the Table III multi-seed sweep wall time, through the pooled
-//     worker scheduler and optionally the serial reference path.
+//     worker scheduler with its per-worker engine cache, and optionally
+//     the serial fresh-engine reference path;
+//   - one short pooled sweep per registered scenario workload
+//     (scenario.Workloads), exercising engine reuse beyond the paper's
+//     3×3 grid.
 //
 // Example:
 //
-//	perfbench -out BENCH_1.json -seeds 8 -note "post hot-path rewrite"
+//	perfbench -out BENCH_2.json -seeds 8 -serial -note "engine reuse"
 package main
 
 import (
@@ -78,6 +83,8 @@ func main() {
 		maxP     = flag.Int("max-period", 80, "CAP-BP sweep end (s)")
 		stepP    = flag.Int("step", 10, "CAP-BP sweep step (s)")
 		serial   = flag.Bool("serial", false, "also time the serial reference scheduler")
+		workload = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
+		wlDur    = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps")
 	)
 	flag.Parse()
 
@@ -149,6 +156,27 @@ func main() {
 		})
 		fmt.Printf("%s: %.3fs (%d patterns x %d seeds x %d periods + UTIL runs)\n",
 			s.name, wall, len(scenario.AllPatterns), len(seedList), len(periods))
+	}
+
+	if *workload {
+		for _, w := range scenario.Workloads() {
+			start := time.Now()
+			if _, err := experiment.TableIIIMultiSeed(w.Setup,
+				[]scenario.Pattern{w.Pattern}, periods, *wlDur, seedList); err != nil {
+				fatal(err)
+			}
+			wall := time.Since(start).Seconds()
+			report.Sweeps = append(report.Sweeps, SweepTime{
+				Name:        "workload_" + w.Name,
+				Patterns:    1,
+				Seeds:       len(seedList),
+				Periods:     len(periods),
+				DurationSec: *wlDur,
+				WallSeconds: wall,
+			})
+			fmt.Printf("workload_%s: %.3fs (%d seeds x %d periods + UTIL runs @ %.0fs)\n",
+				w.Name, wall, len(seedList), len(periods), *wlDur)
+		}
 	}
 
 	f, err := os.Create(*out)

@@ -1,11 +1,14 @@
 // Command trafficsim runs a single traffic-signal simulation on the
-// paper's 3×3 evaluation network and prints a summary.
+// paper's 3×3 evaluation network — or any registered workload — and
+// prints a summary.
 //
 // Examples:
 //
 //	trafficsim -pattern II -controller util
 //	trafficsim -pattern mixed -controller cap -period 20
 //	trafficsim -pattern I -controller orig -period 16 -duration 1800 -seed 7
+//	trafficsim -workload arterial-corridor -controller util
+//	trafficsim -list-workloads
 package main
 
 import (
@@ -23,7 +26,7 @@ import (
 
 func main() {
 	var (
-		patternFlag = flag.String("pattern", "II", "traffic pattern: I, II, III, IV, mixed")
+		patternFlag = flag.String("pattern", "II", "traffic pattern: I, II, III, IV, mixed, rush")
 		controller  = flag.String("controller", "util", "controller: util, cap, orig, capnorm, fixed")
 		period      = flag.Int("period", 16, "control phase period in seconds (fixed-slot controllers)")
 		duration    = flag.Float64("duration", 0, "simulation horizon in seconds (0 = pattern default)")
@@ -37,8 +40,18 @@ func main() {
 		mixedLanes  = flag.Bool("mixed-lanes", false, "enable the head-of-line blocking extension")
 		configPath  = flag.String("config", "", "JSON experiment config (overrides the other flags)")
 		vehOut      = flag.String("vehicles-out", "", "write per-vehicle lifecycle CSV to this path")
+		workload    = flag.String("workload", "", "registered workload providing pattern and grid defaults; explicit -rows/-cols/-capacity still apply (see -list-workloads)")
+		listWk      = flag.Bool("list-workloads", false, "list the registered workloads and exit")
 	)
 	flag.Parse()
+
+	if *listWk {
+		for _, w := range scenario.Workloads() {
+			fmt.Printf("%-18s %d×%d grid, pattern %-5v — %s\n",
+				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Description)
+		}
+		return
+	}
 
 	if *configPath != "" {
 		exp, err := config.LoadFile(*configPath)
@@ -57,16 +70,44 @@ func main() {
 		return
 	}
 
-	pattern, err := cli.ParsePattern(*patternFlag)
-	if err != nil {
-		fatal(err)
+	var (
+		pattern scenario.Pattern
+		setup   scenario.Setup
+		err     error
+	)
+	if *workload != "" {
+		w, ok := scenario.WorkloadByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (run -list-workloads)", *workload))
+		}
+		setup, pattern = w.Setup, w.Pattern
+		// Explicitly passed geometry flags still apply on top of the
+		// workload's setup, like -seed/-amber/-mu below; a conflicting
+		// explicit -pattern is rejected rather than silently ignored.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "pattern":
+				fatal(fmt.Errorf("-pattern conflicts with -workload %s (the workload fixes the pattern to %v)", w.Name, w.Pattern))
+			case "rows":
+				setup.Grid.Rows = *rows
+			case "cols":
+				setup.Grid.Cols = *cols
+			case "capacity":
+				setup.Grid.Capacity = *capacity
+			}
+		})
+	} else {
+		pattern, err = cli.ParsePattern(*patternFlag)
+		if err != nil {
+			fatal(err)
+		}
+		setup = scenario.Default()
+		setup.Grid.Rows = *rows
+		setup.Grid.Cols = *cols
+		setup.Grid.Capacity = *capacity
 	}
-	setup := scenario.Default()
 	setup.Seed = *seed
 	setup.AmberSec = *amber
-	setup.Grid.Rows = *rows
-	setup.Grid.Cols = *cols
-	setup.Grid.Capacity = *capacity
 	if *mu > 0 {
 		setup.Grid.Mu = *mu
 	}

@@ -1,0 +1,200 @@
+// Command vetdoc enforces the repository's doc-comment conventions, the
+// godoc analogue of go vet. Two rules:
+//
+//  1. every package under internal/ carries a package-level doc comment;
+//  2. in the strict packages (internal/sim, internal/experiment,
+//     internal/scenario — the public surface of the simulator and
+//     harness), every exported top-level symbol, including methods on
+//     exported types, carries a doc comment.
+//
+// It exits non-zero listing every violation; CI runs it on each push
+// (.github/workflows/ci.yml). Usage:
+//
+//	go run ./cmd/vetdoc
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// strictPkgs are the directories whose exported symbols must all be
+// documented, not just the package clause.
+var strictPkgs = map[string]bool{
+	"internal/sim":        true,
+	"internal/experiment": true,
+	"internal/scenario":   true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dirs, err := packageDirs(filepath.Join(root, "internal"))
+	if err != nil {
+		fatal(err)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		p, err := checkDir(root, dir)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "vetdoc: %d missing doc comment(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("vetdoc: %d packages clean\n", len(dirs))
+}
+
+// packageDirs returns every directory below root containing .go files.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one package directory (test files excluded) and
+// returns its violations.
+func checkDir(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		rel = dir
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", rel, pkg.Name))
+		}
+		if !strictPkgs[filepath.ToSlash(rel)] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			problems = append(problems, checkFile(fset, file)...)
+		}
+	}
+	return problems, nil
+}
+
+// hasPackageDoc reports whether any file of the package documents the
+// package clause.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFile returns a violation per undocumented exported declaration in
+// the file.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s has no doc comment", p.Filename, p.Line, what))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if recv := receiverType(d); recv != "" {
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+			} else {
+				report(d.Pos(), fmt.Sprintf("func %s", d.Name.Name))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), fmt.Sprintf("type %s", s.Name.Name))
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						// A doc comment on the grouped decl covers its
+						// specs; a trailing line comment counts too.
+						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(name.Pos(), fmt.Sprintf("%s %s", declKind(d.Tok), name.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType returns the method receiver's base type name, or "" for
+// plain functions.
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// declKind names a GenDecl token for violation messages.
+func declKind(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return tok.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vetdoc:", err)
+	os.Exit(1)
+}

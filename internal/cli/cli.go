@@ -11,7 +11,7 @@ import (
 )
 
 // ParsePattern resolves a Table II pattern name ("I".."IV", "1".."4",
-// "mixed"/"m", case-insensitive).
+// "mixed"/"m", "rush"/"r", case-insensitive).
 func ParsePattern(s string) (scenario.Pattern, error) {
 	switch strings.ToUpper(strings.TrimSpace(s)) {
 	case "I", "1":
@@ -24,8 +24,10 @@ func ParsePattern(s string) (scenario.Pattern, error) {
 		return scenario.PatternIV, nil
 	case "MIXED", "M":
 		return scenario.PatternMixed, nil
+	case "RUSH", "R":
+		return scenario.PatternRush, nil
 	}
-	return 0, fmt.Errorf("unknown pattern %q (want I, II, III, IV or mixed)", s)
+	return 0, fmt.Errorf("unknown pattern %q (want I, II, III, IV, mixed or rush)", s)
 }
 
 // ControllerNames lists the names PickFactory accepts.

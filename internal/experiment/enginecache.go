@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+
+	"utilbp/internal/network"
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+	"utilbp/internal/sim"
+)
+
+// ControllerFamily names a class of controllers whose engines the sweep
+// scheduler keeps apart in its per-worker cache. Members of one family
+// (e.g. CAP-BP at different control periods) share a cached engine and
+// are swapped in via sim.Engine.ResetWith; see DESIGN.md §3.
+type ControllerFamily string
+
+// The controller families of the Table III sweep.
+const (
+	FamilyCapBP  ControllerFamily = "CAP-BP"
+	FamilyUtilBP ControllerFamily = "UTIL-BP"
+)
+
+// engineKey identifies a cached engine: the network it was built for
+// (grid geometry — structurally identical grids share engines) and the
+// controller family running on it.
+type engineKey struct {
+	grid   network.GridSpec
+	family ControllerFamily
+}
+
+// EngineCache reuses simulation engines and built scenarios across sweep
+// cells instead of reconstructing them per run. Engines are keyed by
+// (network, controller family) and rewound between cells with
+// sim.Engine.ResetWith, which swaps in the cell's controller factory,
+// demand process and router and replays bit-for-bit identically to a
+// freshly built engine (the contract in DESIGN.md §3, pinned by
+// TestEngineCacheMatchesFreshRuns). Built scenarios are cached per
+// pattern and reseeded through the sim.Reseeder contract.
+//
+// An EngineCache is NOT safe for concurrent use: each sweep worker owns
+// one. It is bound to one base Setup at construction — built scenarios
+// are cached per pattern, so a cache must never be shared across
+// setups. The zero value is not usable; construct with NewEngineCache.
+type EngineCache struct {
+	base    scenario.Setup
+	built   map[scenario.Pattern]*scenario.Built
+	engines map[engineKey]*sim.Engine
+}
+
+// NewEngineCache returns an empty cache bound to the given base setup.
+func NewEngineCache(base scenario.Setup) *EngineCache {
+	return &EngineCache{
+		base:    base,
+		built:   make(map[scenario.Pattern]*scenario.Built),
+		engines: make(map[engineKey]*sim.Engine),
+	}
+}
+
+// Run executes one sweep cell — demand pattern, controller, seed — on a
+// cached engine, building scenario and engine only on first use. The
+// run seed rewinds demand and routing exactly as a fresh
+// base.Build(pattern) with that seed would, so results are bit-for-bit
+// identical to experiment.Run for the same spec.
+func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, seed uint64, durationSec float64) (Result, error) {
+	if factory == nil {
+		return Result{}, fmt.Errorf("experiment: EngineCache.Run requires a factory")
+	}
+	built, ok := c.built[pattern]
+	if !ok {
+		b, err := c.base.Build(pattern)
+		if err != nil {
+			return Result{}, err
+		}
+		c.built[pattern] = b
+		built = b
+	}
+	duration := built.Duration
+	if durationSec > 0 {
+		duration = durationSec
+	}
+	key := engineKey{grid: built.Grid.Spec, family: family}
+	engine, ok := c.engines[key]
+	if !ok {
+		e, err := sim.New(sim.Config{
+			Net:              built.Grid.Network,
+			Controllers:      factory,
+			Demand:           built.Demand,
+			Router:           built.Router,
+			ExpectedVehicles: built.ExpectedVehicles(duration),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		c.engines[key] = e
+		engine = e
+	}
+	// ResetWith swaps the cell's collaborators in even when the engine
+	// was built for another pattern of the same grid: road IDs are dense
+	// and the builder is deterministic, so structurally identical grids
+	// agree on every ID the demand and router use.
+	if err := engine.ResetWith(seed, sim.ResetOptions{
+		Controllers: factory,
+		Demand:      built.Demand,
+		Router:      built.Router,
+	}); err != nil {
+		return Result{}, err
+	}
+	return finishRun(engine, factory, pattern, duration)
+}

@@ -64,6 +64,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Built, float64, error) {
 		Router:           built.Router,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
+		ExpectedVehicles: built.ExpectedVehicles(duration),
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -77,14 +78,22 @@ func Run(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return finishRun(engine, spec.Factory, spec.Pattern, duration)
+}
+
+// finishRun drives a prepared engine to the horizon, checks invariants
+// and summarizes it — the shared tail of Run and EngineCache.Run, kept
+// in one place so the fresh and engine-reusing paths cannot drift
+// apart.
+func finishRun(engine *sim.Engine, factory signal.Factory, pattern scenario.Pattern, duration float64) (Result, error) {
 	engine.RunFor(duration)
 	engine.FinalizeWaits()
 	if err := engine.CheckInvariants(); err != nil {
 		return Result{}, err
 	}
 	return Result{
-		Controller:  spec.Factory.Name(),
-		Pattern:     spec.Pattern,
+		Controller:  factory.Name(),
+		Pattern:     pattern,
 		DurationSec: duration,
 		Summary:     stats.Summarize(engine.Vehicles()),
 		Totals:      engine.Totals(),

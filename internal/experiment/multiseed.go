@@ -9,6 +9,7 @@ import (
 
 	"utilbp/internal/analysis"
 	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
 )
 
 // SeedStats aggregates one Table III row over multiple seeds.
@@ -51,20 +52,36 @@ func (p *sweepPlan) cell(idx int) (pi, si, job int) {
 }
 
 // runCell executes one cell and returns its network-mean queuing time.
-func (p *sweepPlan) runCell(base scenario.Setup, idx int, durationSec float64) (float64, error) {
+// With a cache the cell runs on a reused engine (the pooled scheduler's
+// path); with cache == nil it builds a fresh scenario and engine per cell
+// (the serial reference path). Both paths are pinned bit-for-bit equal by
+// TestMultiSeedSchedulerDeterminism.
+func (p *sweepPlan) runCell(cache *EngineCache, base scenario.Setup, idx int, durationSec float64) (float64, error) {
 	pi, si, job := p.cell(idx)
+	pattern, seed := p.patterns[pi], p.seeds[si]
+	// Both paths share one factory built from the seed-patched setup, so
+	// a factory that ever consumes Setup.Seed keeps them in lockstep.
 	setup := base
-	setup.Seed = p.seeds[si]
-	spec := Spec{Setup: setup, Pattern: p.patterns[pi], DurationSec: durationSec}
+	setup.Seed = seed
+	var (
+		family  ControllerFamily
+		factory signal.Factory
+	)
 	if job < len(p.periods) {
-		spec.Factory = setup.CapBP(p.periods[job])
+		family, factory = FamilyCapBP, setup.CapBP(p.periods[job])
 	} else {
-		spec.Factory = setup.UtilBP()
+		family, factory = FamilyUtilBP, setup.UtilBP()
 	}
-	res, err := Run(spec)
+	var res Result
+	var err error
+	if cache != nil {
+		res, err = cache.Run(pattern, family, factory, seed, durationSec)
+	} else {
+		res, err = Run(Spec{Setup: setup, Pattern: pattern, Factory: factory, DurationSec: durationSec})
+	}
 	if err != nil {
 		return 0, fmt.Errorf("experiment: pattern %v seed %d %s: %w",
-			p.patterns[pi], p.seeds[si], cellLabel(p.periods, job), err)
+			pattern, seed, cellLabel(p.periods, job), err)
 	}
 	return res.Summary.MeanWait, nil
 }
@@ -123,7 +140,11 @@ func newSweepPlan(patterns []scenario.Pattern, periods []int, seeds []uint64) (*
 // (pattern × seed × period) cell of the sweep — plus each group's UTIL-BP
 // run — is an independent job scheduled onto a worker pool sized to
 // runtime.GOMAXPROCS, so the whole sweep saturates the machine instead of
-// serializing behind per-pattern barriers. Results are written into
+// serializing behind per-pattern barriers. Each worker owns an
+// EngineCache: engines are built once per (network, controller family)
+// and rewound between cells with sim.Engine.ResetWith instead of being
+// reconstructed, which removes per-cell scenario and engine allocation
+// from the sweep entirely (DESIGN.md §3). Results are written into
 // cell-indexed slots and aggregated in plan order, making the output
 // bit-for-bit identical to TableIIIMultiSeedSerial for the same inputs.
 func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
@@ -150,8 +171,9 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := NewEngineCache(base)
 			for idx := range jobs {
-				waits[idx], errs[idx] = plan.runCell(base, idx, durationSec)
+				waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
@@ -173,8 +195,11 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 
 // TableIIIMultiSeedSerial is the strictly sequential reference
 // implementation of TableIIIMultiSeed: one goroutine, cells executed in
-// plan order. The pooled scheduler is tested to produce bit-for-bit
-// identical SeedStats; keep the two in lockstep when changing either.
+// plan order, and — unlike the pooled scheduler — a freshly built
+// scenario and engine for every cell, so engine reuse always has a
+// no-reuse baseline to be compared against. The pooled scheduler is
+// tested to produce bit-for-bit identical SeedStats; keep the two in
+// lockstep when changing either.
 func TableIIIMultiSeedSerial(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
 	plan, err := newSweepPlan(patterns, periods, seeds)
 	if err != nil {
@@ -182,7 +207,7 @@ func TableIIIMultiSeedSerial(base scenario.Setup, patterns []scenario.Pattern, p
 	}
 	waits := make([]float64, plan.cells())
 	for idx := range waits {
-		w, err := plan.runCell(base, idx, durationSec)
+		w, err := plan.runCell(nil, base, idx, durationSec)
 		if err != nil {
 			return nil, err
 		}

@@ -75,3 +75,75 @@ func TestMultiSeedSchedulerDeterminism(t *testing.T) {
 		t.Fatalf("pooled scheduler is not repeatable:\nfirst: %+v\nsecond: %+v", parallel, again)
 	}
 }
+
+// TestEngineCacheMatchesFreshRuns drives one EngineCache the way a pool
+// worker does — cells arriving in arbitrary order, switching controller
+// family and pattern mid-stream, revisiting earlier cells — and pins
+// every cached result to a freshly built experiment.Run of the same
+// cell.
+func TestEngineCacheMatchesFreshRuns(t *testing.T) {
+	base := quickSetup()
+	cache := NewEngineCache(base)
+	cells := []struct {
+		pattern scenario.Pattern
+		family  ControllerFamily
+		period  int // 0 = UTIL-BP
+		seed    uint64
+	}{
+		{scenario.PatternI, FamilyCapBP, 18, 1},
+		{scenario.PatternI, FamilyUtilBP, 0, 1},  // family switch
+		{scenario.PatternIV, FamilyCapBP, 30, 2}, // pattern + family switch
+		{scenario.PatternIV, FamilyUtilBP, 0, 2},
+		{scenario.PatternI, FamilyCapBP, 18, 1}, // revisit the first cell
+		{scenario.PatternI, FamilyCapBP, 30, 3}, // same family, new period + seed
+	}
+	for i, c := range cells {
+		setup := base
+		setup.Seed = c.seed
+		factory := setup.UtilBP()
+		if c.family == FamilyCapBP {
+			factory = setup.CapBP(c.period)
+		}
+		cached, err := cache.Run(c.pattern, c.family, factory, c.seed, 700)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		fresh, err := Run(Spec{Setup: setup, Pattern: c.pattern, Factory: factory, DurationSec: 700})
+		if err != nil {
+			t.Fatalf("cell %d fresh: %v", i, err)
+		}
+		if cached.Summary != fresh.Summary {
+			t.Fatalf("cell %d (%v %s seed %d): cached summary %+v != fresh %+v",
+				i, c.pattern, c.family, c.seed, cached.Summary, fresh.Summary)
+		}
+		if cached.Totals != fresh.Totals {
+			t.Fatalf("cell %d: cached totals %+v != fresh %+v", i, cached.Totals, fresh.Totals)
+		}
+	}
+}
+
+// TestMultiSeedWorkloadDeterminism exercises the pooled scheduler beyond
+// the paper's 3×3 grid: for every registered workload, the engine-reusing
+// pool must match the fresh-engine serial reference bit-for-bit.
+func TestMultiSeedWorkloadDeterminism(t *testing.T) {
+	for _, w := range scenario.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			patterns := []scenario.Pattern{w.Pattern}
+			periods := []int{18, 30}
+			seeds := []uint64{1, 2}
+			pooled, err := TableIIIMultiSeed(w.Setup, patterns, periods, 400, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := TableIIIMultiSeedSerial(w.Setup, patterns, periods, 400, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pooled, serial) {
+				t.Fatalf("pooled scheduler diverges from serial reference on %s:\npooled: %+v\nserial: %+v",
+					w.Name, pooled, serial)
+			}
+		})
+	}
+}

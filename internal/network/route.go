@@ -5,7 +5,7 @@ import "fmt"
 // TurnPath computes the movement sequence a vehicle must make to travel
 // from the given entry road to the given exit road, using breadth-first
 // search over junction links (fewest junctions first). It enables
-// explicit vehicle.Path routes on arbitrary topologies where the grid
+// explicit vehicle.PathPlan routes on arbitrary topologies where the grid
 // one-turn model does not apply.
 func (n *Network) TurnPath(entry, exit RoadID) ([]Turn, error) {
 	if n.Road(entry) == nil || n.Road(exit) == nil {

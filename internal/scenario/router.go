@@ -58,8 +58,9 @@ func (r *Router) Reseed(seed uint64) {
 	r.src = rng.New(seed).Split("routes")
 }
 
-// Route implements sim.RouteChooser.
-func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Route {
+// Route implements sim.RouteChooser. The returned plan is a compact
+// value, so the call contributes no heap allocation to the spawn path.
+func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Plan {
 	if entry < 0 || int(entry) >= len(r.sideOf) || r.sideOf[entry] < 0 {
 		return vehicle.StraightThrough
 	}
@@ -79,7 +80,7 @@ func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Route {
 	if n <= 0 {
 		return vehicle.StraightThrough
 	}
-	return vehicle.OneTurn{Turn: turn, At: r.src.Intn(n)}
+	return vehicle.OneTurn(turn, r.src.Intn(n))
 }
 
 var _ sim.RouteChooser = (*Router)(nil)

@@ -1,12 +1,19 @@
 // Package scenario encodes the paper's Section V evaluation setup: the
 // 3×3 grid with W_i = 120, the Table I turning probabilities, the
-// Table II traffic patterns (plus the 4-hour mixed pattern), the
-// 4-second amber, alpha = -1 and beta = -2, with the saturation flow
-// calibrated to 0.5 veh/s per movement (see DESIGN.md §5).
+// Table II traffic patterns (plus the 4-hour mixed pattern and the
+// rush-hour ramp extension), the 4-second amber, alpha = -1 and
+// beta = -2, with the saturation flow calibrated to 0.5 veh/s per
+// movement (see DESIGN.md §7).
+//
+// Beyond the paper's grid, the package keeps a registry of named
+// workloads (Workloads, RegisterWorkload) — asymmetric grids, an
+// arterial corridor, the rush-hour ramp — documented in DESIGN.md §4
+// and runnable via `trafficsim -workload`.
 package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"utilbp/internal/bp"
 	"utilbp/internal/core"
@@ -20,13 +27,16 @@ import (
 // Pattern identifies a Table II traffic pattern.
 type Pattern int
 
-// The four Table II patterns and the 4-hour mixed pattern combining them.
+// The four Table II patterns, the 4-hour mixed pattern combining them,
+// and the rush-hour ramp extension (trapezoidal demand, beyond the
+// paper's Section V set).
 const (
 	PatternI Pattern = iota + 1
 	PatternII
 	PatternIII
 	PatternIV
 	PatternMixed
+	PatternRush
 )
 
 // Patterns lists the individual patterns in order.
@@ -49,6 +59,8 @@ func (p Pattern) String() string {
 		return "IV"
 	case PatternMixed:
 		return "Mixed"
+	case PatternRush:
+		return "Rush"
 	}
 	return fmt.Sprintf("Pattern(%d)", int(p))
 }
@@ -66,6 +78,8 @@ func (p Pattern) Description() string {
 		return "single heavy"
 	case PatternMixed:
 		return "mixed (I+II+III+IV)"
+	case PatternRush:
+		return "rush-hour ramp (trapezoidal uniform demand)"
 	}
 	return "unknown"
 }
@@ -89,13 +103,39 @@ func (p Pattern) InterArrival() (map[network.Dir]float64, error) {
 	return t, nil
 }
 
-// Duration returns the paper's simulation horizon for the pattern: 1 h
-// for patterns I-IV, 4 h for the mixed pattern.
+// Duration returns the default simulation horizon for the pattern: 1 h
+// for patterns I-IV and the rush-hour ramp, 4 h for the mixed pattern.
 func (p Pattern) Duration() float64 {
 	if p == PatternMixed {
 		return 4 * 3600
 	}
 	return 3600
+}
+
+// Rush-hour ramp shape: the uniform Table II demand is scaled by a
+// trapezoid — quiet shoulders, a linear build-up to a peak above the
+// paper's operating point, a hold, and a symmetric cool-down.
+const (
+	rushLowScale  = 0.35
+	rushPeakScale = 1.25
+	rushRampSec   = 1200.0 // build-up / cool-down duration
+	rushPeakSec   = 1200.0 // peak hold duration
+)
+
+// rushScale is the trapezoidal demand multiplier of PatternRush at time t.
+func rushScale(t float64) float64 {
+	switch {
+	case t < 0:
+		return rushLowScale
+	case t < rushRampSec:
+		return rushLowScale + (rushPeakScale-rushLowScale)*t/rushRampSec
+	case t < rushRampSec+rushPeakSec:
+		return rushPeakScale
+	case t < 2*rushRampSec+rushPeakSec:
+		return rushPeakScale - (rushPeakScale-rushLowScale)*(t-rushRampSec-rushPeakSec)/rushRampSec
+	default:
+		return rushLowScale
+	}
 }
 
 // TurnProbs are Table I turning probabilities; the straight probability
@@ -143,7 +183,7 @@ type Setup struct {
 // flow is 0.5 veh/s per movement (the standard ~1800 veh/h), which puts
 // the queue simulator in the same congestion regime as the paper's SUMO
 // runs; back-pressure decisions are invariant to a uniform µ scaling, so
-// this choice only moves the operating point (see DESIGN.md §5).
+// this choice only moves the operating point (see DESIGN.md §7).
 func Default() Setup {
 	grid := network.DefaultGridSpec()
 	grid.Mu = 0.5
@@ -177,11 +217,48 @@ func (s Setup) withDefaults() Setup {
 
 // Built is an instantiated scenario ready to simulate.
 type Built struct {
-	Grid     *network.GridNetwork
-	Demand   sim.ArrivalProcess
-	Router   sim.RouteChooser
+	// Grid is the instantiated road network.
+	Grid *network.GridNetwork
+	// Demand is the arrival process driving the entry roads.
+	Demand sim.ArrivalProcess
+	// Router assigns route plans to spawned vehicles.
+	Router sim.RouteChooser
+	// Duration is the pattern's default horizon in seconds.
 	Duration float64
-	Setup    Setup
+	// Setup records the constants the scenario was built with.
+	Setup Setup
+	// Rate is the arrival-rate function behind Demand, kept so callers
+	// can integrate the demand horizon (see ExpectedVehicles).
+	Rate sim.RateFunc
+}
+
+// ExpectedVehicles estimates how many vehicles the demand generates over
+// a horizon of durationSec seconds, by integrating the arrival rate over
+// every entry road. The sim layer uses it to pre-size the vehicle arena
+// so the spawn path never grows a slice mid-run; the estimate includes
+// Poisson headroom, so it is an upper bound for typical runs, not a hard
+// limit — the arena still grows if a run exceeds it.
+func (b *Built) ExpectedVehicles(durationSec float64) int {
+	if b.Rate == nil || durationSec <= 0 {
+		return 0
+	}
+	// Sample the (piecewise-constant) rate on a 60 s grid; exact for the
+	// paper's hourly pattern switches and close enough elsewhere.
+	const sampleSec = 60.0
+	total := 0.0
+	for _, side := range network.Dirs {
+		for _, rid := range b.Grid.Entries(side) {
+			for t := 0.0; t < durationSec; t += sampleSec {
+				step := sampleSec
+				if rem := durationSec - t; rem < step {
+					step = rem
+				}
+				total += b.Rate(rid, t) * step
+			}
+		}
+	}
+	// ~4σ Poisson headroom plus a constant floor for tiny horizons.
+	return int(total+4*math.Sqrt(total)) + 64
 }
 
 // Build instantiates the scenario for a pattern.
@@ -211,12 +288,23 @@ func (s Setup) Build(pattern Pattern) (*Built, error) {
 		Router:   NewRouter(g, s.TurnProbs, root.Split("routes")),
 		Duration: pattern.Duration(),
 		Setup:    s,
+		Rate:     rate,
 	}, nil
 }
 
 // demandRate converts the pattern's Table II rows into a RateFunc over
-// the grid's entry roads. The mixed pattern chains I..IV hourly.
+// the grid's entry roads. The mixed pattern chains I..IV hourly; the
+// rush-hour ramp scales the uniform Pattern II rates by a trapezoid.
 func demandRate(g *network.GridNetwork, pattern Pattern) (sim.RateFunc, error) {
+	if pattern == PatternRush {
+		base, err := demandRate(g, PatternII)
+		if err != nil {
+			return nil, err
+		}
+		return func(r network.RoadID, t float64) float64 {
+			return rushScale(t) * base(r, t)
+		}, nil
+	}
 	if pattern == PatternMixed {
 		pw := sim.NewPiecewise()
 		for _, p := range Patterns {

@@ -6,7 +6,6 @@ import (
 
 	"utilbp/internal/network"
 	"utilbp/internal/rng"
-	"utilbp/internal/vehicle"
 )
 
 func TestPatternTables(t *testing.T) {
@@ -175,7 +174,7 @@ func TestRouterDistribution(t *testing.T) {
 func TestRouterUnknownEntry(t *testing.T) {
 	built, _ := Default().Build(PatternI)
 	r := NewRouter(built.Grid, nil, rng.New(7))
-	if route := r.Route(network.RoadID(9999), 0); route != vehicle.StraightThrough {
+	if route := r.Route(network.RoadID(9999), 0); !route.IsStraight() {
 		t.Error("unknown entry should route straight")
 	}
 }

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload is a named, registered simulation workload: a Setup (grid
+// geometry and evaluation constants) paired with a demand pattern. The
+// registry lets the experiment harness, CLI tools and perf trajectory
+// exercise networks and demand shapes beyond the paper's 3×3 grid by
+// name; the registered set is documented in DESIGN.md §4.
+type Workload struct {
+	// Name is the registry key (kebab-case).
+	Name string
+	// Description says what the workload stresses.
+	Description string
+	// Setup carries the grid geometry and evaluation constants.
+	Setup Setup
+	// Pattern selects the demand shape.
+	Pattern Pattern
+}
+
+var workloads = map[string]Workload{}
+
+// RegisterWorkload adds a workload to the registry. It rejects empty
+// names and duplicates, so registrations surface conflicts instead of
+// silently overwriting.
+func RegisterWorkload(w Workload) error {
+	if w.Name == "" {
+		return fmt.Errorf("scenario: workload name must not be empty")
+	}
+	if _, dup := workloads[w.Name]; dup {
+		return fmt.Errorf("scenario: workload %q already registered", w.Name)
+	}
+	workloads[w.Name] = w
+	return nil
+}
+
+// MustRegisterWorkload is RegisterWorkload panicking on error, for
+// registrations at init time.
+func MustRegisterWorkload(w Workload) {
+	if err := RegisterWorkload(w); err != nil {
+		panic(err)
+	}
+}
+
+// WorkloadByName looks a workload up by registry key.
+func WorkloadByName(name string) (Workload, bool) {
+	w, ok := workloads[name]
+	return w, ok
+}
+
+// Workloads returns every registered workload sorted by name.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(workloads))
+	for _, w := range workloads {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkloadNames returns the sorted registry keys.
+func WorkloadNames() []string {
+	out := make([]string, 0, len(workloads))
+	for name := range workloads {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// gridSetup returns the paper's constants on a rows×cols grid.
+func gridSetup(rows, cols int) Setup {
+	s := Default()
+	s.Grid.Rows = rows
+	s.Grid.Cols = cols
+	return s
+}
+
+func init() {
+	MustRegisterWorkload(Workload{
+		Name:        "paper-grid",
+		Description: "the paper's Section V evaluation: 3×3 grid, 4-hour mixed Table II demand",
+		Setup:       Default(),
+		Pattern:     PatternMixed,
+	})
+	MustRegisterWorkload(Workload{
+		Name:        "asymmetric-grid",
+		Description: "4×2 grid — unequal path lengths stress the per-lane pressure signal",
+		Setup:       gridSetup(4, 2),
+		Pattern:     PatternIII,
+	})
+	MustRegisterWorkload(Workload{
+		Name:        "arterial-corridor",
+		Description: "1×5 corridor — a single east-west arterial with cross traffic at every junction",
+		Setup:       gridSetup(1, 5),
+		Pattern:     PatternI,
+	})
+	MustRegisterWorkload(Workload{
+		Name:        "rush-hour-ramp",
+		Description: "3×3 grid under a trapezoidal demand ramp peaking above the paper's operating point",
+		Setup:       Default(),
+		Pattern:     PatternRush,
+	})
+}

@@ -72,15 +72,25 @@ func (p *PoissonDemand) SetDerivation(derive func(seed uint64) *rng.Source) {
 
 // Reseed implements Reseeder: it re-derives the root stream for the given
 // run seed (via the installed derivation, defaulting to rng.New — see
-// SetDerivation) and forgets every per-road stream so they re-split from
-// the new root.
+// SetDerivation) and re-splits every per-road stream from the new root.
+// Roads that already had a stream are re-split eagerly, so a reset run's
+// spawn path performs no allocation when it first samples them; splitting
+// is order-independent, so the sequences are identical to the lazy splits
+// a freshly built process would perform.
 func (p *PoissonDemand) Reseed(seed uint64) {
 	if p.derive != nil {
 		p.root = p.derive(seed)
 	} else {
 		p.root = rng.New(seed)
 	}
-	clear(p.streams)
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.src == nil {
+			continue
+		}
+		s.src = p.root.SplitIndexed("arrivals", i)
+		s.mean, s.limit = 0, 0
+	}
 }
 
 // Arrivals implements ArrivalProcess. Invalid (negative) road IDs

@@ -125,12 +125,12 @@ func TestRouterAdapters(t *testing.T) {
 	if (FixedRouter{}).Route(0, 0).TurnAt(0) != network.Straight {
 		t.Error("nil fixed router should default to straight")
 	}
-	fr := FixedRouter{R: vehicle.OneTurn{Turn: network.Left, At: 0}}
+	fr := FixedRouter{R: vehicle.OneTurn(network.Left, 0)}
 	if fr.Route(0, 0).TurnAt(0) != network.Left {
 		t.Error("fixed router ignored its route")
 	}
-	rf := RouteFunc(func(entry network.RoadID, _ float64) vehicle.Route {
-		return vehicle.OneTurn{Turn: network.Right, At: 1}
+	rf := RouteFunc(func(entry network.RoadID, _ float64) vehicle.Plan {
+		return vehicle.OneTurn(network.Right, 1)
 	})
 	if rf.Route(3, 0).TurnAt(1) != network.Right {
 		t.Error("route func not applied")

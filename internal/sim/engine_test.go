@@ -289,7 +289,7 @@ func TestTurningRoutesCrossMultipleJunctions(t *testing.T) {
 		Net:         g.Network,
 		Controllers: fixedtime.Factory(fixedtime.Options{GreenSteps: 10, AmberSteps: 2}),
 		Demand:      sched,
-		Router:      FixedRouter{R: vehicle.OneTurn{Turn: network.Left, At: 1}},
+		Router:      FixedRouter{R: vehicle.OneTurn(network.Left, 1)},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -399,12 +399,12 @@ func TestMixedLanesHOLBlocking(t *testing.T) {
 	north := g.Entries(network.North)[0]
 	sched := NewScheduledDemand()
 	sched.Add(north, 0, 2) // two vehicles, same slot: FIFO order by ID
-	routes := []vehicle.Route{
-		vehicle.OneTurn{Turn: network.Right, At: 0}, // head: right turn
-		vehicle.StraightThrough,                     // follower: straight
+	routes := []vehicle.Plan{
+		vehicle.OneTurn(network.Right, 0), // head: right turn
+		vehicle.StraightThrough,           // follower: straight
 	}
 	next := 0
-	router := RouteFunc(func(network.RoadID, float64) vehicle.Route {
+	router := RouteFunc(func(network.RoadID, float64) vehicle.Plan {
 		r := routes[next%len(routes)]
 		next++
 		return r

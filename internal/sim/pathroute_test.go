@@ -33,7 +33,7 @@ func TestPathRouteFollowsTurnPath(t *testing.T) {
 		Net:         g.Network,
 		Controllers: fixedtime.Factory(fixedtime.Options{GreenSteps: 10, AmberSteps: 2}),
 		Demand:      sched,
-		Router:      FixedRouter{R: vehicle.Path{Turns: turns}},
+		Router:      FixedRouter{R: vehicle.PathPlan(turns...)},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -156,9 +156,7 @@ func TestTransitObservation(t *testing.T) {
 		Net:         g.Network,
 		Controllers: signal.FactoryFunc{Label: "c", Build: func(signal.JunctionInfo) (signal.Controller, error) { return ctrl, nil }},
 		Demand:      sched,
-		Router: FixedRouter{R: vehicle.OneTurn{
-			Turn: network.Left, At: 0,
-		}},
+		Router: FixedRouter{R: vehicle.OneTurn(network.Left, 0)},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +220,7 @@ func TestRouteFallbackCounted(t *testing.T) {
 		Demand:      sched,
 		// From the north heading south, a left turn exits east — the
 		// missing arm.
-		Router: FixedRouter{R: vehicle.OneTurn{Turn: network.Left, At: 0}},
+		Router: FixedRouter{R: vehicle.OneTurn(network.Left, 0)},
 	})
 	if err != nil {
 		t.Fatal(err)

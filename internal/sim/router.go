@@ -5,40 +5,39 @@ import (
 	"utilbp/internal/vehicle"
 )
 
-// RouteChooser assigns a route to each spawned vehicle. The paper's
-// Table-I chooser (turn probabilities per entry side, turning junction
-// selected uniformly) lives in the scenario package; the implementations
-// here cover tests and simple workloads.
+// RouteChooser assigns a route plan to each spawned vehicle. Plans are
+// compact values (vehicle.Plan), so implementations can hand them out on
+// the spawn path without heap allocation. The paper's Table-I chooser
+// (turn probabilities per entry side, turning junction selected uniformly)
+// lives in the scenario package; the implementations here cover tests and
+// simple workloads.
 type RouteChooser interface {
-	// Route returns the route for a vehicle spawned on the given entry
-	// road at time t.
-	Route(entry network.RoadID, t float64) vehicle.Route
+	// Route returns the route plan for a vehicle spawned on the given
+	// entry road at time t.
+	Route(entry network.RoadID, t float64) vehicle.Plan
 }
 
 // StraightRouter sends every vehicle straight through the network.
 type StraightRouter struct{}
 
 // Route implements RouteChooser.
-func (StraightRouter) Route(network.RoadID, float64) vehicle.Route {
+func (StraightRouter) Route(network.RoadID, float64) vehicle.Plan {
 	return vehicle.StraightThrough
 }
 
-// FixedRouter assigns the same route to every vehicle.
+// FixedRouter assigns the same route plan to every vehicle.
 type FixedRouter struct {
-	// R is the route to assign; nil falls back to straight-through.
-	R vehicle.Route
+	// R is the plan to assign; the zero Plan goes straight through.
+	R vehicle.Plan
 }
 
 // Route implements RouteChooser.
-func (f FixedRouter) Route(network.RoadID, float64) vehicle.Route {
-	if f.R == nil {
-		return vehicle.StraightThrough
-	}
+func (f FixedRouter) Route(network.RoadID, float64) vehicle.Plan {
 	return f.R
 }
 
 // RouteFunc adapts a function to RouteChooser.
-type RouteFunc func(entry network.RoadID, t float64) vehicle.Route
+type RouteFunc func(entry network.RoadID, t float64) vehicle.Plan
 
 // Route implements RouteChooser.
-func (f RouteFunc) Route(entry network.RoadID, t float64) vehicle.Route { return f(entry, t) }
+func (f RouteFunc) Route(entry network.RoadID, t float64) vehicle.Plan { return f(entry, t) }

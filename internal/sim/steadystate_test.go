@@ -113,3 +113,116 @@ func TestResetReplaysIdentically(t *testing.T) {
 		}
 	}
 }
+
+// TestSpawnPathAllocs extends the zero-allocation contract to the spawn
+// path: with the vehicle arena pre-sized for the demand horizon
+// (Config.ExpectedVehicles) and the working set grown by a warmup run,
+// replaying the same seed must not allocate even while arrivals keep
+// flowing — route plans are compact values (vehicle.Plan) and the arena
+// append stays within its pre-sized capacity.
+func TestSpawnPathAllocs(t *testing.T) {
+	const horizon = 1500
+	setup := scenario.Default()
+	setup.Seed = 7
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:              built.Grid.Network,
+		Controllers:      setup.UtilBP(),
+		Demand:           built.Demand,
+		Router:           built.Router,
+		ExpectedVehicles: built.ExpectedVehicles(horizon),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(horizon) // grow lanes, heaps and arena to the working set
+	if engine.Totals().Spawned == 0 {
+		t.Fatal("warmup spawned no vehicles")
+	}
+	if err := engine.Reset(setup.Seed); err != nil {
+		t.Fatal(err)
+	}
+	// AllocsPerRun performs one extra warmup call, so the replay covers
+	// exactly the warmed horizon and never exceeds the grown capacity.
+	allocs := testing.AllocsPerRun(horizon-1, func() {
+		engine.Run(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("spawn path allocates: %v allocs per step, want 0", allocs)
+	}
+	if engine.Totals().Spawned == 0 {
+		t.Fatal("measured steps spawned no vehicles")
+	}
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetWithSwapsCollaborators checks the ResetWith contract behind
+// the sweep scheduler's engine cache: an engine built for one pattern and
+// controller, rewound with another pattern's demand and router and a
+// different controller family, must match a freshly built engine for that
+// cell bit-for-bit.
+func TestResetWithSwapsCollaborators(t *testing.T) {
+	const steps = 900
+	setup := scenario.Default()
+	setup.Seed = 5
+	builtII, err := setup.Build(scenario.PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         builtII.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      builtII.Demand,
+		Router:      builtII.Router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(steps)
+
+	// Swap in Pattern I demand/routes (a separate Built of the same grid
+	// spec) and the CAP-BP family, then compare against a fresh engine.
+	swapSetup := scenario.Default()
+	swapSetup.Seed = 9
+	builtI, err := swapSetup.Build(scenario.PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.ResetWith(9, sim.ResetOptions{
+		Controllers: swapSetup.CapBP(20),
+		Demand:      builtI.Demand,
+		Router:      builtI.Router,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(steps)
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	freshBuilt, err := swapSetup.Build(scenario.PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sim.New(sim.Config{
+		Net:         freshBuilt.Grid.Network,
+		Controllers: swapSetup.CapBP(20),
+		Demand:      freshBuilt.Demand,
+		Router:      freshBuilt.Router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Run(steps)
+	if engine.Totals() != fresh.Totals() {
+		t.Fatalf("ResetWith totals %+v != fresh totals %+v", engine.Totals(), fresh.Totals())
+	}
+	if !reflect.DeepEqual(engine.Vehicles(), fresh.Vehicles()) {
+		t.Fatal("ResetWith vehicle arena diverges from fresh run")
+	}
+}

@@ -2,6 +2,10 @@
 // network and their route plans. Routes follow the paper's Section V
 // setup: a vehicle entering the network goes straight except for at most
 // one turn, taken at a randomly selected intersection along its way.
+//
+// Route plans are compact values (Plan), not interfaces: assigning one to
+// a vehicle never heap-allocates, which keeps the engine's spawn path
+// allocation-free (see DESIGN.md §3 and PERF.md).
 package vehicle
 
 import "utilbp/internal/network"
@@ -27,9 +31,9 @@ type Vehicle struct {
 	// turning lanes plus waiting to enter a full entry road.
 	QueueWait float64
 	// Junctions counts the junctions the vehicle has been served
-	// through; it indexes Route.TurnAt.
+	// through; it indexes Plan.TurnAt.
 	Junctions int
-	Route     Route
+	Route     Plan
 }
 
 // InNetwork reports whether the vehicle has entered and not yet exited.
@@ -46,52 +50,77 @@ func (v *Vehicle) TripTime() float64 {
 	return v.ExitedAt - v.EnteredAt
 }
 
-// Route decides the movement a vehicle makes at each junction it meets.
-type Route interface {
-	// TurnAt returns the movement to take at the n-th junction the
-	// vehicle encounters (0-based).
-	TurnAt(n int) network.Turn
+// Plan decides the movement a vehicle makes at each junction it meets. It
+// is a compact value representation — the zero Plan goes straight through
+// the whole network — so storing one in a Vehicle involves no interface
+// boxing and no heap allocation on the spawn path. Construct plans with
+// OneTurn or PathPlan.
+type Plan struct {
+	// turns, when non-nil, is an explicit per-junction movement list for
+	// arbitrary topologies; junctions beyond the list are crossed
+	// straight.
+	turns []network.Turn
+	// turn is the movement taken at the single turning junction of the
+	// paper's one-turn route model.
+	turn network.Turn
+	// at1 is the 1-based encounter index of the turning junction; 0 marks
+	// a straight-through plan, which keeps the zero Plan valid (the zero
+	// network.Turn is Left, so a 0-based index could not).
+	at1 int
 }
 
-// OneTurn is the paper's route model: straight everywhere except a single
-// turn at the junction with encounter index At. A vehicle that goes
-// straight through the whole network uses At = -1 (or any index it never
-// reaches).
-type OneTurn struct {
-	Turn network.Turn
-	At   int
+// OneTurn returns the paper's route model: straight everywhere except a
+// single turn at the junction with encounter index at (0-based). A
+// negative at yields a plan that never turns.
+func OneTurn(turn network.Turn, at int) Plan {
+	if at < 0 {
+		return Plan{}
+	}
+	return Plan{turn: turn, at1: at + 1}
 }
 
-// TurnAt implements Route.
-func (r OneTurn) TurnAt(n int) network.Turn {
-	if n == r.At {
-		return r.Turn
+// PathPlan returns an explicit movement list for arbitrary topologies;
+// junctions beyond the list are crossed straight.
+func PathPlan(turns ...network.Turn) Plan {
+	if turns == nil {
+		turns = []network.Turn{}
+	}
+	return Plan{turns: turns}
+}
+
+// StraightThrough is the plan that never turns: the zero Plan.
+var StraightThrough = Plan{}
+
+// TurnAt returns the movement to take at the n-th junction the vehicle
+// encounters (0-based).
+func (p Plan) TurnAt(n int) network.Turn {
+	if p.turns != nil {
+		if n >= 0 && n < len(p.turns) {
+			return p.turns[n]
+		}
+		return network.Straight
+	}
+	if p.at1 != 0 && n == p.at1-1 {
+		return p.turn
 	}
 	return network.Straight
 }
 
-// StraightThrough is a route that never turns.
-var StraightThrough Route = OneTurn{Turn: network.Straight, At: -1}
-
-// Path is an explicit movement list for arbitrary topologies; junctions
-// beyond the list are crossed straight.
-type Path struct {
-	Turns []network.Turn
-}
-
-// TurnAt implements Route.
-func (p Path) TurnAt(n int) network.Turn {
-	if n >= 0 && n < len(p.Turns) {
-		return p.Turns[n]
+// IsStraight reports whether the plan never turns.
+func (p Plan) IsStraight() bool {
+	if p.turns != nil {
+		for _, t := range p.turns {
+			if t != network.Straight {
+				return false
+			}
+		}
+		return true
 	}
-	return network.Straight
+	return p.at1 == 0 || p.turn == network.Straight
 }
 
 // New returns a vehicle in the just-spawned state.
-func New(id ID, entry network.RoadID, spawnedAt float64, route Route) Vehicle {
-	if route == nil {
-		route = StraightThrough
-	}
+func New(id ID, entry network.RoadID, spawnedAt float64, route Plan) Vehicle {
 	return Vehicle{
 		ID:        id,
 		EntryRoad: entry,

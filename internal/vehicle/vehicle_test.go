@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewDefaults(t *testing.T) {
-	v := New(3, 7, 12.5, nil)
+	v := New(3, 7, 12.5, Plan{})
 	if v.ID != 3 || v.EntryRoad != 7 || v.SpawnedAt != 12.5 {
 		t.Fatalf("unexpected fields: %+v", v)
 	}
@@ -19,12 +19,12 @@ func TestNewDefaults(t *testing.T) {
 		t.Fatal("fresh vehicle should be neither in network nor done")
 	}
 	if v.Route.TurnAt(0) != network.Straight {
-		t.Fatal("nil route should default to straight-through")
+		t.Fatal("zero plan should default to straight-through")
 	}
 }
 
 func TestLifecycle(t *testing.T) {
-	v := New(0, 0, 0, nil)
+	v := New(0, 0, 0, Plan{})
 	v.EnteredAt = 5
 	if !v.InNetwork() || v.Done() {
 		t.Fatal("entered vehicle should be in network")
@@ -42,18 +42,24 @@ func TestLifecycle(t *testing.T) {
 }
 
 func TestOneTurnRoute(t *testing.T) {
-	r := OneTurn{Turn: network.Left, At: 2}
+	r := OneTurn(network.Left, 2)
 	want := []network.Turn{network.Straight, network.Straight, network.Left, network.Straight}
 	for i, w := range want {
 		if got := r.TurnAt(i); got != w {
 			t.Errorf("TurnAt(%d) = %v, want %v", i, got, w)
 		}
 	}
+	if r.IsStraight() {
+		t.Error("left-turn plan reported straight")
+	}
+	if !OneTurn(network.Right, -1).IsStraight() {
+		t.Error("negative turn index should never turn")
+	}
 }
 
 func TestOneTurnProperty(t *testing.T) {
 	f := func(at uint8, n uint8) bool {
-		r := OneTurn{Turn: network.Right, At: int(at % 16)}
+		r := OneTurn(network.Right, int(at%16))
 		got := r.TurnAt(int(n % 16))
 		if int(n%16) == int(at%16) {
 			return got == network.Right
@@ -71,14 +77,35 @@ func TestStraightThrough(t *testing.T) {
 			t.Fatalf("StraightThrough turned at %d", i)
 		}
 	}
+	if !StraightThrough.IsStraight() {
+		t.Fatal("StraightThrough should report IsStraight")
+	}
+	// The zero Plan must behave exactly like StraightThrough: the zero
+	// network.Turn is Left, and the spawn path relies on zero values
+	// being safe.
+	var zero Plan
+	for i := -1; i < 10; i++ {
+		if zero.TurnAt(i) != network.Straight {
+			t.Fatalf("zero Plan turned at %d", i)
+		}
+	}
 }
 
 func TestPathRoute(t *testing.T) {
-	p := Path{Turns: []network.Turn{network.Left, network.Right}}
+	p := PathPlan(network.Left, network.Right)
 	if p.TurnAt(0) != network.Left || p.TurnAt(1) != network.Right {
 		t.Fatal("path turns wrong")
 	}
 	if p.TurnAt(2) != network.Straight || p.TurnAt(-1) != network.Straight {
 		t.Fatal("out-of-path junctions should be straight")
+	}
+	if p.IsStraight() {
+		t.Error("turning path reported straight")
+	}
+	if !PathPlan(network.Straight, network.Straight).IsStraight() {
+		t.Error("all-straight path should report straight")
+	}
+	if !PathPlan().IsStraight() {
+		t.Error("empty path should report straight")
 	}
 }
