@@ -11,15 +11,20 @@
 //   - steady-state stepOnce: the same loop after demand quiesces, where
 //     the hot path must perform zero heap allocations;
 //   - the Table III multi-seed sweep wall time, through the pooled
-//     worker scheduler with its per-worker engine cache, and optionally
-//     the serial fresh-engine reference path;
+//     worker scheduler with its shared artifact cache and per-worker
+//     engine cache, and optionally the serial fresh-engine reference
+//     path;
 //   - one short pooled sweep per registered scenario workload
 //     (scenario.Workloads), exercising engine reuse beyond the paper's
-//     3×3 grid.
+//     3×3 grid (city-scale workloads shorten their horizon via
+//     Workload.SweepHorizonSec);
+//   - per-engine heap bytes for selected workloads, via
+//     runtime.ReadMemStats deltas around engine construction on a shared
+//     scenario artifact (the memory-layout trajectory of DESIGN.md §5).
 //
 // Example:
 //
-//	perfbench -out BENCH_2.json -seeds 8 -serial -note "engine reuse"
+//	perfbench -out BENCH_3.json -seeds 8 -serial -note "shared artifacts"
 package main
 
 import (
@@ -44,9 +49,10 @@ type Report struct {
 	GOARCH      string `json:"goarch"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	LoadedStep StepReport  `json:"loaded_step"`
-	SteadyStep StepReport  `json:"steady_step"`
-	Sweeps     []SweepTime `json:"sweeps"`
+	LoadedStep StepReport   `json:"loaded_step"`
+	SteadyStep StepReport   `json:"steady_step"`
+	Sweeps     []SweepTime  `json:"sweeps"`
+	EngineHeap []HeapReport `json:"engine_heap,omitempty"`
 }
 
 // StepReport summarizes a stepping measurement.
@@ -69,6 +75,19 @@ type SweepTime struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// HeapReport is the per-engine memory footprint of one workload: the
+// heap bytes one simulation engine retains when built on a shared
+// scenario artifact (arena pre-sized for the pattern horizon, lane rings
+// and travel heaps pre-sized from link capacity), plus the bytes of the
+// shared artifact itself, which exists once per process regardless of
+// engine count.
+type HeapReport struct {
+	Workload        string  `json:"workload"`
+	HorizonSec      float64 `json:"horizon_sec"`
+	EngineHeapBytes uint64  `json:"engine_heap_bytes"`
+	SharedArtifact  uint64  `json:"shared_artifact_bytes"`
+}
+
 func main() {
 	var (
 		out      = flag.String("out", "BENCH.json", "output JSON path")
@@ -84,9 +103,18 @@ func main() {
 		stepP    = flag.Int("step", 10, "CAP-BP sweep step (s)")
 		serial   = flag.Bool("serial", false, "also time the serial reference scheduler")
 		workload = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
-		wlDur    = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps")
+		wlDur    = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
+		heap     = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
 	flag.Parse()
+	// A workload-duration the operator set explicitly applies verbatim;
+	// only the default defers to each workload's registered sweep horizon.
+	wlDurExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload-duration" {
+			wlDurExplicit = true
+		}
+	})
 
 	setup := scenario.Default()
 	setup.Seed = *seed
@@ -160,9 +188,13 @@ func main() {
 
 	if *workload {
 		for _, w := range scenario.Workloads() {
+			horizon := *wlDur
+			if !wlDurExplicit {
+				horizon = w.SweepHorizon(*wlDur)
+			}
 			start := time.Now()
 			if _, err := experiment.TableIIIMultiSeed(w.Setup,
-				[]scenario.Pattern{w.Pattern}, periods, *wlDur, seedList); err != nil {
+				[]scenario.Pattern{w.Pattern}, periods, horizon, seedList); err != nil {
 				fatal(err)
 			}
 			wall := time.Since(start).Seconds()
@@ -171,11 +203,27 @@ func main() {
 				Patterns:    1,
 				Seeds:       len(seedList),
 				Periods:     len(periods),
-				DurationSec: *wlDur,
+				DurationSec: horizon,
 				WallSeconds: wall,
 			})
 			fmt.Printf("workload_%s: %.3fs (%d seeds x %d periods + UTIL runs @ %.0fs)\n",
-				w.Name, wall, len(seedList), len(periods), *wlDur)
+				w.Name, wall, len(seedList), len(periods), horizon)
+		}
+	}
+
+	if *heap {
+		for _, name := range []string{"paper-grid", "city-grid", "downtown-core"} {
+			w, ok := scenario.WorkloadByName(name)
+			if !ok {
+				continue
+			}
+			hr, err := measureEngineHeap(w)
+			if err != nil {
+				fatal(err)
+			}
+			report.EngineHeap = append(report.EngineHeap, hr)
+			fmt.Printf("engine heap %s: %.0f KiB/engine (+%.0f KiB shared artifact) @ %.0fs horizon\n",
+				name, float64(hr.EngineHeapBytes)/1024, float64(hr.SharedArtifact)/1024, hr.HorizonSec)
 		}
 	}
 
@@ -228,6 +276,57 @@ func measureSteady(setup scenario.Setup, warmup, steps int) (StepReport, error) 
 	}
 	engine.Run(warmup + 20)
 	return timeSteps(engine, steps), nil
+}
+
+// heapNow returns the live heap after a GC cycle.
+func heapNow() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// measureEngineHeap builds several engines on one shared scenario
+// artifact — the sweep scheduler's configuration — and reports the
+// retained heap per engine (arena pre-sized for the workload's sweep
+// horizon, lanes and travel heaps pre-sized from link capacity) plus the
+// one-off bytes of the shared artifact.
+func measureEngineHeap(w scenario.Workload) (HeapReport, error) {
+	const k = 4
+	before := heapNow()
+	art, err := w.Setup.BuildArtifact(w.Pattern)
+	if err != nil {
+		return HeapReport{}, err
+	}
+	artBytes := heapNow() - before
+	horizon := w.SweepHorizon(art.Duration)
+	factory := w.Setup.UtilBP()
+	engines := make([]*sim.Engine, 0, k)
+	before = heapNow()
+	for i := 0; i < k; i++ {
+		inst := art.Instantiate()
+		e, err := sim.New(sim.Config{
+			Net:              inst.Grid.Network,
+			Controllers:      factory,
+			Demand:           inst.Demand,
+			Router:           inst.Router,
+			Routes:           inst.Routes,
+			ExpectedVehicles: art.ExpectedVehicles(horizon),
+		})
+		if err != nil {
+			return HeapReport{}, err
+		}
+		engines = append(engines, e)
+	}
+	after := heapNow()
+	runtime.KeepAlive(engines)
+	runtime.KeepAlive(art)
+	return HeapReport{
+		Workload:        w.Name,
+		HorizonSec:      horizon,
+		EngineHeapBytes: (after - before) / k,
+		SharedArtifact:  artBytes,
+	}, nil
 }
 
 // timeSteps advances the engine and reports wall time and allocation

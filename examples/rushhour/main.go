@@ -63,11 +63,13 @@ func main() {
 
 	for _, name := range []string{"UTIL-BP", "FIXED"} {
 		root := rng.New(99)
+		router, routes := scenario.NewGridRouter(grid, nil, root.Split("routes"))
 		engine, err := sim.New(sim.Config{
 			Net:         grid.Network,
 			Controllers: controllers[name],
 			Demand:      sim.NewPoissonDemand(root.Split("demand"), rate),
-			Router:      scenario.NewRouter(grid, nil, root.Split("routes")),
+			Router:      router,
+			Routes:      routes,
 		})
 		if err != nil {
 			log.Fatal(err)

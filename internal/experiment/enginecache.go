@@ -29,65 +29,80 @@ type engineKey struct {
 	family ControllerFamily
 }
 
-// EngineCache reuses simulation engines and built scenarios across sweep
-// cells instead of reconstructing them per run. Engines are keyed by
-// (network, controller family) and rewound between cells with
-// sim.Engine.ResetWith, which swaps in the cell's controller factory,
-// demand process and router and replays bit-for-bit identically to a
-// freshly built engine (the contract in DESIGN.md §3, pinned by
-// TestEngineCacheMatchesFreshRuns). Built scenarios are cached per
-// pattern and reseeded through the sim.Reseeder contract.
+// EngineCache reuses simulation engines and scenario state across sweep
+// cells instead of reconstructing them per run. The immutable scenario
+// artifacts (network, rate tables, interned route table) come from a
+// concurrency-safe scenario.ArtifactCache that may be shared by every
+// worker of a sweep — they exist once per process. On top of it the
+// cache keeps per-worker mutable state: one scenario.Instance per
+// pattern (RNG-backed demand and router) and engines keyed by (network,
+// controller family), rewound between cells with sim.Engine.ResetWith,
+// which swaps in the cell's controller factory, demand, router and
+// route table and replays bit-for-bit identically to a freshly built
+// engine (the contract in DESIGN.md §3, pinned by
+// TestEngineCacheMatchesFreshRuns).
 //
 // An EngineCache is NOT safe for concurrent use: each sweep worker owns
-// one. It is bound to one base Setup at construction — built scenarios
-// are cached per pattern, so a cache must never be shared across
-// setups. The zero value is not usable; construct with NewEngineCache.
+// one (sharing only the artifact cache). It is bound to one base Setup —
+// instances are cached per pattern, so a cache must never be shared
+// across setups. The zero value is not usable; construct with
+// NewEngineCache or NewSharedEngineCache.
 type EngineCache struct {
-	base    scenario.Setup
-	built   map[scenario.Pattern]*scenario.Built
-	engines map[engineKey]*sim.Engine
+	artifacts *scenario.ArtifactCache
+	instances map[scenario.Pattern]*scenario.Instance
+	engines   map[engineKey]*sim.Engine
 }
 
-// NewEngineCache returns an empty cache bound to the given base setup.
+// NewEngineCache returns an empty cache bound to the given base setup,
+// with a private artifact cache. Sweep schedulers that run several
+// workers should share one artifact cache via NewSharedEngineCache
+// instead.
 func NewEngineCache(base scenario.Setup) *EngineCache {
+	return NewSharedEngineCache(scenario.NewArtifactCache(base))
+}
+
+// NewSharedEngineCache returns an empty per-worker cache drawing its
+// immutable scenario artifacts from the given shared cache.
+func NewSharedEngineCache(artifacts *scenario.ArtifactCache) *EngineCache {
 	return &EngineCache{
-		base:    base,
-		built:   make(map[scenario.Pattern]*scenario.Built),
-		engines: make(map[engineKey]*sim.Engine),
+		artifacts: artifacts,
+		instances: make(map[scenario.Pattern]*scenario.Instance),
+		engines:   make(map[engineKey]*sim.Engine),
 	}
 }
 
 // Run executes one sweep cell — demand pattern, controller, seed — on a
-// cached engine, building scenario and engine only on first use. The
-// run seed rewinds demand and routing exactly as a fresh
+// cached engine, building scenario state and engine only on first use.
+// The run seed rewinds demand and routing exactly as a fresh
 // base.Build(pattern) with that seed would, so results are bit-for-bit
 // identical to experiment.Run for the same spec.
 func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, seed uint64, durationSec float64) (Result, error) {
 	if factory == nil {
 		return Result{}, fmt.Errorf("experiment: EngineCache.Run requires a factory")
 	}
-	built, ok := c.built[pattern]
+	inst, ok := c.instances[pattern]
 	if !ok {
-		b, err := c.base.Build(pattern)
+		art, err := c.artifacts.Get(pattern)
 		if err != nil {
 			return Result{}, err
 		}
-		c.built[pattern] = b
-		built = b
+		inst = art.Instantiate()
+		c.instances[pattern] = inst
 	}
-	duration := built.Duration
+	duration := inst.Duration
 	if durationSec > 0 {
 		duration = durationSec
 	}
-	key := engineKey{grid: built.Grid.Spec, family: family}
+	key := engineKey{grid: inst.Grid.Spec, family: family}
 	engine, ok := c.engines[key]
 	if !ok {
 		e, err := sim.New(sim.Config{
-			Net:              built.Grid.Network,
+			Net:              inst.Grid.Network,
 			Controllers:      factory,
-			Demand:           built.Demand,
-			Router:           built.Router,
-			ExpectedVehicles: built.ExpectedVehicles(duration),
+			Demand:           inst.Demand,
+			Router:           inst.Router,
+			Routes:           inst.Routes,
+			ExpectedVehicles: inst.ExpectedVehicles(duration),
 		})
 		if err != nil {
 			return Result{}, err
@@ -98,11 +113,12 @@ func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, fac
 	// ResetWith swaps the cell's collaborators in even when the engine
 	// was built for another pattern of the same grid: road IDs are dense
 	// and the builder is deterministic, so structurally identical grids
-	// agree on every ID the demand and router use.
+	// agree on every ID the demand, router and route table use.
 	if err := engine.ResetWith(seed, sim.ResetOptions{
 		Controllers: factory,
-		Demand:      built.Demand,
-		Router:      built.Router,
+		Demand:      inst.Demand,
+		Router:      inst.Router,
+		Routes:      inst.Routes,
 	}); err != nil {
 		return Result{}, err
 	}

@@ -43,9 +43,9 @@ type Result struct {
 }
 
 // Prepare builds the engine for a spec so callers can attach recorders
-// before running. It returns the engine, the built scenario, and the
-// horizon in seconds.
-func Prepare(spec Spec) (*sim.Engine, *scenario.Built, float64, error) {
+// before running. It returns the engine, the built scenario instance,
+// and the horizon in seconds.
+func Prepare(spec Spec) (*sim.Engine, *scenario.Instance, float64, error) {
 	if spec.Factory == nil {
 		return nil, nil, 0, fmt.Errorf("experiment: Spec.Factory is required")
 	}
@@ -62,6 +62,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Built, float64, error) {
 		Controllers:      spec.Factory,
 		Demand:           built.Demand,
 		Router:           built.Router,
+		Routes:           built.Routes,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
 		ExpectedVehicles: built.ExpectedVehicles(duration),

@@ -140,13 +140,17 @@ func newSweepPlan(patterns []scenario.Pattern, periods []int, seeds []uint64) (*
 // (pattern × seed × period) cell of the sweep — plus each group's UTIL-BP
 // run — is an independent job scheduled onto a worker pool sized to
 // runtime.GOMAXPROCS, so the whole sweep saturates the machine instead of
-// serializing behind per-pattern barriers. Each worker owns an
-// EngineCache: engines are built once per (network, controller family)
-// and rewound between cells with sim.Engine.ResetWith instead of being
-// reconstructed, which removes per-cell scenario and engine allocation
-// from the sweep entirely (DESIGN.md §3). Results are written into
-// cell-indexed slots and aggregated in plan order, making the output
-// bit-for-bit identical to TableIIIMultiSeedSerial for the same inputs.
+// serializing behind per-pattern barriers. All workers share one
+// concurrency-safe scenario.ArtifactCache, so the immutable scenario
+// state (network topology, rate tables, interned route table) is built
+// once per pattern for the whole process; on top of it each worker owns
+// an EngineCache: engines are built once per (network, controller
+// family) and rewound between cells with sim.Engine.ResetWith instead of
+// being reconstructed, which removes per-cell scenario and engine
+// allocation from the sweep entirely (DESIGN.md §3, §5). Results are
+// written into cell-indexed slots and aggregated in plan order, making
+// the output bit-for-bit identical to TableIIIMultiSeedSerial for the
+// same inputs.
 func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods []int, durationSec float64, seeds []uint64) ([]SeedStats, error) {
 	plan, err := newSweepPlan(patterns, periods, seeds)
 	if err != nil {
@@ -160,6 +164,7 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 	if workers > n {
 		workers = n
 	}
+	artifacts := scenario.NewArtifactCache(base)
 	// failed stops job submission early: a paper-scale sweep is minutes
 	// of compute, so once any cell errors the remaining cells are not
 	// worth running. In-flight cells still finish before wg.Wait
@@ -171,7 +176,7 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cache := NewEngineCache(base)
+			cache := NewSharedEngineCache(artifacts)
 			for idx := range jobs {
 				waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
 				if errs[idx] != nil {

@@ -122,28 +122,95 @@ func TestEngineCacheMatchesFreshRuns(t *testing.T) {
 	}
 }
 
+// pinPooledVsSerial asserts the engine-reusing pooled scheduler matches
+// the fresh-engine serial reference bit-for-bit for one workload.
+func pinPooledVsSerial(t *testing.T, w scenario.Workload, horizonSec float64, seeds []uint64) {
+	t.Helper()
+	patterns := []scenario.Pattern{w.Pattern}
+	periods := []int{18, 30}
+	pooled, err := TableIIIMultiSeed(w.Setup, patterns, periods, horizonSec, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := TableIIIMultiSeedSerial(w.Setup, patterns, periods, horizonSec, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pooled, serial) {
+		t.Fatalf("pooled scheduler diverges from serial reference on %s:\npooled: %+v\nserial: %+v",
+			w.Name, pooled, serial)
+	}
+}
+
 // TestMultiSeedWorkloadDeterminism exercises the pooled scheduler beyond
-// the paper's 3×3 grid: for every registered workload, the engine-reusing
-// pool must match the fresh-engine serial reference bit-for-bit.
+// the paper's 3×3 grid: for every registered workload — city-scale grids
+// included — the engine-reusing pool must match the fresh-engine serial
+// reference bit-for-bit. Large workloads shorten the horizon via their
+// registered SweepHorizonSec so the pin stays test-scale.
 func TestMultiSeedWorkloadDeterminism(t *testing.T) {
 	for _, w := range scenario.Workloads() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			patterns := []scenario.Pattern{w.Pattern}
-			periods := []int{18, 30}
-			seeds := []uint64{1, 2}
-			pooled, err := TableIIIMultiSeed(w.Setup, patterns, periods, 400, seeds)
-			if err != nil {
-				t.Fatal(err)
+			horizon := w.SweepHorizon(400)
+			if horizon > 400 {
+				horizon = 400
 			}
-			serial, err := TableIIIMultiSeedSerial(w.Setup, patterns, periods, 400, seeds)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(pooled, serial) {
-				t.Fatalf("pooled scheduler diverges from serial reference on %s:\npooled: %+v\nserial: %+v",
-					w.Name, pooled, serial)
-			}
+			pinPooledVsSerial(t, w, horizon, []uint64{1, 2})
 		})
+	}
+}
+
+// TestCityGridPooledVsSerialPin is the short city-scale pin CI runs on
+// its own: the 16×16 city-grid workload through the pooled scheduler
+// (shared artifacts, cached engines) against the serial fresh-engine
+// reference.
+func TestCityGridPooledVsSerialPin(t *testing.T) {
+	w, ok := scenario.WorkloadByName("city-grid")
+	if !ok {
+		t.Fatal("city-grid workload not registered")
+	}
+	pinPooledVsSerial(t, w, 150, []uint64{1})
+}
+
+// TestEngineCacheCityGridWorkload extends the EngineCache contract to
+// the city-scale workloads: cached engines on the 16×16 grid must match
+// freshly built experiment.Run results exactly, including across a
+// family switch and a revisit.
+func TestEngineCacheCityGridWorkload(t *testing.T) {
+	w, ok := scenario.WorkloadByName("city-grid")
+	if !ok {
+		t.Fatal("city-grid workload not registered")
+	}
+	base := w.Setup
+	cache := NewEngineCache(base)
+	cells := []struct {
+		family ControllerFamily
+		period int // 0 = UTIL-BP
+		seed   uint64
+	}{
+		{FamilyCapBP, 20, 1},
+		{FamilyUtilBP, 0, 1}, // family switch on the cached grid
+		{FamilyCapBP, 20, 2}, // revisit with a new seed
+	}
+	const horizon = 150
+	for i, c := range cells {
+		setup := base
+		setup.Seed = c.seed
+		factory := setup.UtilBP()
+		if c.family == FamilyCapBP {
+			factory = setup.CapBP(c.period)
+		}
+		cached, err := cache.Run(w.Pattern, c.family, factory, c.seed, horizon)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		fresh, err := Run(Spec{Setup: setup, Pattern: w.Pattern, Factory: factory, DurationSec: horizon})
+		if err != nil {
+			t.Fatalf("cell %d fresh: %v", i, err)
+		}
+		if cached.Summary != fresh.Summary || cached.Totals != fresh.Totals {
+			t.Fatalf("cell %d (%s seed %d): cached %+v/%+v != fresh %+v/%+v",
+				i, c.family, c.seed, cached.Summary, cached.Totals, fresh.Summary, fresh.Totals)
+		}
 	}
 }

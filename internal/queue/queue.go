@@ -3,11 +3,12 @@
 // enqueue times) and a time-ordered heap for vehicles travelling along a
 // road toward it.
 //
-// Both containers are allocation-free in steady state: once their backing
-// slices have grown to the working-set size, push/pop traffic reuses the
-// storage. Travel implements its sift operations directly on []Arrival
-// rather than through container/heap, whose interface methods box every
-// element and would put two heap allocations on the per-vehicle hot path.
+// Lane is a ring buffer: pre-sized to its road's link capacity it never
+// touches the heap again — no append growth and no compaction copy, no
+// matter how the queue churns (see DESIGN.md §5). Travel implements its
+// sift operations directly on []Arrival rather than through
+// container/heap, whose interface methods box every element and would put
+// two heap allocations on the per-vehicle hot path.
 package queue
 
 // Item is one queued vehicle: its identifier and the time it joined the
@@ -17,66 +18,108 @@ type Item struct {
 	EnqueuedAt float64
 }
 
-// Lane is a FIFO queue of vehicles. The zero value is an empty lane ready
-// to use. It is implemented as a slice with a moving head and periodic
-// compaction so sustained push/pop traffic does not grow memory without
-// bound.
+// Lane is a FIFO queue of vehicles, implemented as a ring buffer. The
+// zero value is an empty lane ready to use; Reserve pre-sizes the ring so
+// a lane bounded by its road's capacity never allocates after
+// construction. An unreserved (or overfull) lane grows by doubling — the
+// storage never shrinks and elements are never reshuffled on pop.
 type Lane struct {
-	items []Item
-	head  int
+	items []Item // ring storage; len(items) is the fixed capacity
+	head  int    // index of the oldest element
+	n     int    // number of queued elements
+}
+
+// Reserve grows the ring storage to hold at least capacity items without
+// further allocation. It never shrinks. Call it at engine construction,
+// sized from the road's link capacity.
+func (l *Lane) Reserve(capacity int) {
+	if capacity <= len(l.items) {
+		return
+	}
+	l.regrow(capacity)
+}
+
+// regrow moves the ring into fresh storage of the given capacity,
+// unwrapping it so head returns to index 0.
+func (l *Lane) regrow(capacity int) {
+	grown := make([]Item, capacity)
+	for i := 0; i < l.n; i++ {
+		grown[i] = l.items[(l.head+i)%len(l.items)]
+	}
+	l.items = grown
+	l.head = 0
 }
 
 // Len returns the number of queued vehicles.
-func (l *Lane) Len() int { return len(l.items) - l.head }
+func (l *Lane) Len() int { return l.n }
 
-// Push appends a vehicle to the tail of the lane.
+// Cap returns the ring capacity (how many vehicles fit without growth).
+func (l *Lane) Cap() int { return len(l.items) }
+
+// Push appends a vehicle to the tail of the lane, doubling the ring only
+// when it is full (never for a lane reserved at its bound).
 func (l *Lane) Push(vehicle int, at float64) {
-	l.items = append(l.items, Item{Vehicle: vehicle, EnqueuedAt: at})
+	if l.n == len(l.items) {
+		next := 2 * len(l.items)
+		if next < 8 {
+			next = 8
+		}
+		l.regrow(next)
+	}
+	// head < len and n <= len, so one conditional subtract wraps the tail.
+	tail := l.head + l.n
+	if tail >= len(l.items) {
+		tail -= len(l.items)
+	}
+	l.items[tail] = Item{Vehicle: vehicle, EnqueuedAt: at}
+	l.n++
 }
 
 // Pop removes and returns the head of the lane. The second result is false
 // when the lane is empty.
 func (l *Lane) Pop() (Item, bool) {
-	if l.head >= len(l.items) {
+	if l.n == 0 {
 		return Item{}, false
 	}
 	it := l.items[l.head]
-	l.items[l.head] = Item{}
 	l.head++
-	if l.head > 64 && l.head*2 >= len(l.items) {
-		n := copy(l.items, l.items[l.head:])
-		l.items = l.items[:n]
+	if l.head == len(l.items) {
 		l.head = 0
 	}
+	l.n--
 	return it, true
 }
 
 // Peek returns the head of the lane without removing it.
 func (l *Lane) Peek() (Item, bool) {
-	if l.head >= len(l.items) {
+	if l.n == 0 {
 		return Item{}, false
 	}
 	return l.items[l.head], true
 }
 
-// Items returns the queued items in order, head first. The returned slice
-// aliases internal storage and must not be retained across mutations; it
-// is intended for end-of-run accounting and assertions.
-func (l *Lane) Items() []Item { return l.items[l.head:] }
+// At returns the i-th queued item counted from the head (0-based). It is
+// intended for end-of-run accounting and assertions; callers must keep
+// i < Len().
+func (l *Lane) At(i int) Item {
+	return l.items[(l.head+i)%len(l.items)]
+}
 
-// Reset empties the lane.
+// Reset empties the lane, keeping the ring storage.
 func (l *Lane) Reset() {
-	l.items = l.items[:0]
 	l.head = 0
+	l.n = 0
 }
 
 // Arrival is a vehicle in transit: it reaches the stop line (and joins a
 // lane) at time At. Seq breaks ties so equal arrival times dequeue in
-// insertion order, keeping simulations deterministic.
+// insertion order, keeping simulations deterministic. The 32-bit fields
+// keep the entry at 16 bytes — heaps are pre-sized per road from link
+// capacity, so the entry size is a direct per-engine memory term.
 type Arrival struct {
 	At      float64
-	Vehicle int
-	seq     int
+	Vehicle int32
+	seq     int32
 }
 
 // less orders arrivals by (At, seq).
@@ -88,10 +131,23 @@ func (a Arrival) less(b Arrival) bool {
 }
 
 // Travel holds vehicles in transit along one road, ordered by stop-line
-// arrival time. The zero value is ready to use.
+// arrival time. The zero value is ready to use; Reserve pre-sizes the
+// backing storage so a heap bounded by its road's capacity never
+// allocates after construction.
 type Travel struct {
 	h   []Arrival
-	seq int
+	seq int32
+}
+
+// Reserve grows the heap's backing storage to hold at least capacity
+// arrivals without further allocation. It never shrinks.
+func (t *Travel) Reserve(capacity int) {
+	if capacity <= cap(t.h) {
+		return
+	}
+	grown := make([]Arrival, len(t.h), capacity)
+	copy(grown, t.h)
+	t.h = grown
 }
 
 // Len returns the number of vehicles in transit.
@@ -100,7 +156,7 @@ func (t *Travel) Len() int { return len(t.h) }
 // Add schedules a vehicle to reach the stop line at time at.
 func (t *Travel) Add(vehicle int, at float64) {
 	t.seq++
-	t.h = append(t.h, Arrival{At: at, Vehicle: vehicle, seq: t.seq})
+	t.h = append(t.h, Arrival{At: at, Vehicle: int32(vehicle), seq: t.seq})
 	// Sift up.
 	h := t.h
 	i := len(h) - 1

@@ -40,10 +40,11 @@ func TestLanePeek(t *testing.T) {
 	}
 }
 
-func TestLaneCompaction(t *testing.T) {
+func TestLaneRingBounded(t *testing.T) {
 	var l Lane
-	// Sustained push/pop traffic: memory must stay bounded via
-	// compaction, and FIFO order must be preserved throughout.
+	// Sustained push/pop traffic on a ring: storage must stay at the
+	// high-water capacity (no unbounded growth, no reshuffling), and FIFO
+	// order must be preserved throughout, including across wraparound.
 	next, expect := 0, 0
 	for round := 0; round < 1000; round++ {
 		for i := 0; i < 5; i++ {
@@ -58,23 +59,74 @@ func TestLaneCompaction(t *testing.T) {
 			expect++
 		}
 	}
-	if cap(l.items) > 1024 {
-		t.Fatalf("lane storage grew to %d despite compaction", cap(l.items))
+	if l.Cap() > 16 {
+		t.Fatalf("ring storage grew to %d for a depth-5 queue", l.Cap())
 	}
 }
 
-func TestLaneItemsAndReset(t *testing.T) {
+func TestLaneReserveNeverGrows(t *testing.T) {
+	var l Lane
+	l.Reserve(32)
+	if l.Cap() != 32 {
+		t.Fatalf("Cap = %d after Reserve(32)", l.Cap())
+	}
+	// Push/pop churn within the reservation must never change capacity.
+	next, expect := 0, 0
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 30; i++ {
+			l.Push(next, 0)
+			next++
+		}
+		for i := 0; i < 30; i++ {
+			it, _ := l.Pop()
+			if it.Vehicle != expect {
+				t.Fatalf("round %d: got %+v want %d", round, it, expect)
+			}
+			expect++
+		}
+	}
+	if l.Cap() != 32 {
+		t.Fatalf("reserved ring regrew to %d", l.Cap())
+	}
+	// Shrinking reservations are ignored.
+	l.Reserve(4)
+	if l.Cap() != 32 {
+		t.Fatal("Reserve shrank the ring")
+	}
+}
+
+func TestLaneReserveKeepsContents(t *testing.T) {
+	var l Lane
+	for i := 0; i < 10; i++ {
+		l.Push(i, float64(i))
+	}
+	for i := 0; i < 4; i++ {
+		l.Pop()
+	}
+	l.Push(10, 10) // wraps in a small ring
+	l.Reserve(64)
+	for want := 4; want <= 10; want++ {
+		it, ok := l.Pop()
+		if !ok || it.Vehicle != want || it.EnqueuedAt != float64(want) {
+			t.Fatalf("after Reserve: got %+v ok=%v, want vehicle %d", it, ok, want)
+		}
+	}
+}
+
+func TestLaneAtAndReset(t *testing.T) {
 	var l Lane
 	l.Push(1, 0)
-	l.Push(2, 0)
+	l.Push(2, 0.5)
 	l.Pop()
-	items := l.Items()
-	if len(items) != 1 || items[0].Vehicle != 2 {
-		t.Fatalf("Items = %+v", items)
+	if l.Len() != 1 || l.At(0).Vehicle != 2 || l.At(0).EnqueuedAt != 0.5 {
+		t.Fatalf("At(0) = %+v len=%d", l.At(0), l.Len())
 	}
 	l.Reset()
 	if l.Len() != 0 {
 		t.Fatal("Reset did not empty the lane")
+	}
+	if _, ok := l.Pop(); ok {
+		t.Fatal("pop after Reset succeeded")
 	}
 }
 
@@ -114,7 +166,7 @@ func TestTravelOrdering(t *testing.T) {
 	want := []int{2, 3, 1}
 	for _, w := range want {
 		a, ok := tr.PopDue(100)
-		if !ok || a.Vehicle != w {
+		if !ok || int(a.Vehicle) != w {
 			t.Fatalf("got %+v, want vehicle %d", a, w)
 		}
 	}
@@ -138,7 +190,7 @@ func TestTravelTieBreakInsertionOrder(t *testing.T) {
 	}
 	for i := 0; i < 20; i++ {
 		a, ok := tr.PopDue(7)
-		if !ok || a.Vehicle != i {
+		if !ok || int(a.Vehicle) != i {
 			t.Fatalf("tie-break violated at %d: got %+v", i, a)
 		}
 	}

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"math"
+	"sync"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/sim"
+	"utilbp/internal/vehicle"
+)
+
+// Artifact is the immutable part of a built scenario: the network
+// topology, the arrival-rate tables, the interned route table and the
+// router's route-ID layout. It is built once per (setup, pattern) and is
+// safe to share by reference across engines, sweep workers and
+// goroutines — nothing in it is written after BuildArtifact returns
+// (DESIGN.md §5). The mutable per-run collaborators (RNG-backed demand
+// and router streams) live in Instance.
+type Artifact struct {
+	// Grid is the instantiated road network.
+	Grid *network.GridNetwork
+	// Routes is the interned route table; every RouteID handed out by
+	// this artifact's routers indexes it. Read-only after build.
+	Routes *vehicle.RouteTable
+	// Rate is the arrival-rate function, kept so callers can integrate
+	// the demand horizon (see ExpectedVehicles). It is a pure function
+	// over immutable tables.
+	Rate sim.RateFunc
+	// Duration is the pattern's default horizon in seconds.
+	Duration float64
+	// Setup records the constants the artifact was built with (defaults
+	// applied).
+	Setup Setup
+	// Pattern is the demand pattern the artifact was built for.
+	Pattern Pattern
+	// routes is the router's precomputed interned-ID layout.
+	routes *routeIndex
+}
+
+// Instance binds the shared immutable Artifact to the mutable per-run
+// collaborators: a demand process and a router, each owning RNG streams.
+// One engine uses one instance at a time; create a fresh instance per
+// concurrent engine (instances are cheap — the artifact dominates).
+type Instance struct {
+	*Artifact
+	// Demand is the arrival process driving the entry roads.
+	Demand sim.ArrivalProcess
+	// Router assigns interned routes to spawned vehicles.
+	Router sim.RouteChooser
+}
+
+// BuildArtifact builds the immutable scenario artifact for a pattern:
+// everything shareable across engines, with no RNG state.
+func (s Setup) BuildArtifact(pattern Pattern) (*Artifact, error) {
+	s = s.withDefaults()
+	g, err := network.Grid(s.Grid)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := demandRate(g, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if s.DemandScale > 0 && s.DemandScale != 1 {
+		base := rate
+		scale := s.DemandScale
+		rate = func(r network.RoadID, t float64) float64 { return scale * base(r, t) }
+	}
+	table := vehicle.NewRouteTable()
+	return &Artifact{
+		Grid:     g,
+		Routes:   table,
+		Rate:     rate,
+		Duration: pattern.Duration(),
+		Setup:    s,
+		Pattern:  pattern,
+		routes:   buildRouteIndex(g, s.TurnProbs, table),
+	}, nil
+}
+
+// Instantiate derives the mutable per-run collaborators from the
+// artifact's seed (Setup.Seed), exactly as Build does: the demand root
+// is rng.New(seed).Split("demand") and the route stream
+// rng.New(seed).Split("routes"), so a run on any instance of this
+// artifact replays bit-for-bit like one on a freshly built scenario.
+func (a *Artifact) Instantiate() *Instance {
+	root := rng.New(a.Setup.Seed)
+	demand := sim.NewPoissonDemand(root.Split("demand"), a.Rate)
+	demand.SetDerivation(func(seed uint64) *rng.Source {
+		return rng.New(seed).Split("demand")
+	})
+	return &Instance{
+		Artifact: a,
+		Demand:   demand,
+		Router:   a.NewRouter(root.Split("routes")),
+	}
+}
+
+// ExpectedVehicles estimates how many vehicles the demand generates over
+// a horizon of durationSec seconds, by integrating the arrival rate over
+// every entry road. The sim layer uses it to pre-size the vehicle arena
+// so the spawn path never grows a slice mid-run; the estimate includes
+// Poisson headroom, so it is an upper bound for typical runs, not a hard
+// limit — the arena still grows if a run exceeds it.
+func (a *Artifact) ExpectedVehicles(durationSec float64) int {
+	if a.Rate == nil || durationSec <= 0 {
+		return 0
+	}
+	// Sample the (piecewise-constant) rate on a 60 s grid; exact for the
+	// paper's hourly pattern switches and close enough elsewhere.
+	const sampleSec = 60.0
+	total := 0.0
+	for _, side := range network.Dirs {
+		for _, rid := range a.Grid.Entries(side) {
+			for t := 0.0; t < durationSec; t += sampleSec {
+				step := sampleSec
+				if rem := durationSec - t; rem < step {
+					step = rem
+				}
+				total += a.Rate(rid, t) * step
+			}
+		}
+	}
+	// ~4σ Poisson headroom plus a constant floor for tiny horizons.
+	return int(total+4*math.Sqrt(total)) + 64
+}
+
+// ArtifactCache builds and shares immutable scenario artifacts, one per
+// pattern, for a fixed base setup. It is safe for concurrent use: every
+// sweep worker can hold the same cache, and all of them receive the same
+// artifact pointer for a pattern — the network, rate tables and route
+// table exist once per process instead of once per worker (DESIGN.md
+// §5). The zero value is not usable; construct with NewArtifactCache.
+type ArtifactCache struct {
+	base Setup
+	mu   sync.Mutex
+	arts map[Pattern]*Artifact
+}
+
+// NewArtifactCache returns an empty cache bound to the given base setup.
+func NewArtifactCache(base Setup) *ArtifactCache {
+	return &ArtifactCache{base: base, arts: make(map[Pattern]*Artifact)}
+}
+
+// Base returns the setup the cache builds artifacts for.
+func (c *ArtifactCache) Base() Setup { return c.base }
+
+// Get returns the shared artifact for a pattern, building it on first
+// use. Concurrent callers for the same pattern receive the same pointer.
+func (c *ArtifactCache) Get(pattern Pattern) (*Artifact, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.arts[pattern]; ok {
+		return a, nil
+	}
+	a, err := c.base.BuildArtifact(pattern)
+	if err != nil {
+		return nil, err
+	}
+	c.arts[pattern] = a
+	return a, nil
+}

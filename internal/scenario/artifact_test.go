@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"utilbp/internal/network"
+	"utilbp/internal/sim"
+	"utilbp/internal/vehicle"
+)
+
+// TestArtifactSharedAcrossInstances: instances created from one artifact
+// share the immutable parts by reference (no per-instance copies) while
+// owning their mutable collaborators.
+func TestArtifactSharedAcrossInstances(t *testing.T) {
+	art, err := Default().BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := art.Instantiate(), art.Instantiate()
+	if a.Artifact != b.Artifact || a.Grid != b.Grid || a.Routes != b.Routes {
+		t.Fatal("instances do not share the artifact by reference")
+	}
+	if a.Demand == b.Demand {
+		t.Fatal("instances share a mutable demand process")
+	}
+	if a.Router == b.Router {
+		t.Fatal("instances share a mutable router")
+	}
+}
+
+// TestArtifactCacheSharesPointers: concurrent Get calls for the same
+// pattern return the same artifact pointer (run under -race in CI).
+func TestArtifactCacheSharesPointers(t *testing.T) {
+	cache := NewArtifactCache(Default())
+	const n = 8
+	arts := make([]*Artifact, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := cache.Get(PatternII)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if arts[i] != arts[0] {
+			t.Fatal("ArtifactCache handed out distinct artifacts for one pattern")
+		}
+	}
+	if cache.Base().Grid.Rows != 3 {
+		t.Fatal("Base does not round-trip the setup")
+	}
+}
+
+// TestRouteInterningDeterministicAcrossBuilds: two artifacts built for
+// the same setup and pattern agree on the full route table and on every
+// route a same-seeded router assigns — the property that lets engines
+// swap structurally identical artifacts without re-translating IDs.
+func TestRouteInterningDeterministicAcrossBuilds(t *testing.T) {
+	s := Default()
+	a1, err := s.BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Routes.Len() != a2.Routes.Len() {
+		t.Fatalf("route tables differ in size: %d vs %d", a1.Routes.Len(), a2.Routes.Len())
+	}
+	for id := 0; id < a1.Routes.Len(); id++ {
+		p1 := a1.Routes.Plan(vehicle.RouteID(id))
+		p2 := a2.Routes.Plan(vehicle.RouteID(id))
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("route %d diverges between builds: %+v vs %+v", id, p1, p2)
+		}
+	}
+	i1, i2 := a1.Instantiate(), a2.Instantiate()
+	entry := a1.Grid.Entries(network.North)[0]
+	for k := 0; k < 2000; k++ {
+		if r1, r2 := i1.Router.Route(entry, 0), i2.Router.Route(entry, 0); r1 != r2 {
+			t.Fatalf("draw %d: route IDs diverge (%d vs %d)", k, r1, r2)
+		}
+	}
+}
+
+// TestRouteInterningDeterministicAcrossReset is the property test behind
+// the shared-table replay contract: for any seed, running an engine,
+// rewinding it with Reset, and running again assigns every vehicle the
+// same interned RouteID — and the run itself never interns (the table
+// size is frozen at build time).
+func TestRouteInterningDeterministicAcrossReset(t *testing.T) {
+	art, err := Default().BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seedByte uint8) bool {
+		seed := uint64(seedByte) + 1
+		setup := art.Setup
+		setup.Seed = seed
+		// Fresh build for the seed: the reference run.
+		fresh, err := setup.Build(PatternI)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		engine, err := sim.New(sim.Config{
+			Net:         fresh.Grid.Network,
+			Controllers: setup.UtilBP(),
+			Demand:      fresh.Demand,
+			Router:      fresh.Router,
+			Routes:      fresh.Routes,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		lenBefore := fresh.Routes.Len()
+		engine.Run(400)
+		first := routeIDs(engine)
+		if fresh.Routes.Len() != lenBefore {
+			t.Logf("seed %d: run interned routes (%d -> %d)", seed, lenBefore, fresh.Routes.Len())
+			return false
+		}
+		// Reset and replay: identical interned IDs, vehicle for vehicle.
+		if err := engine.Reset(seed); err != nil {
+			t.Log(err)
+			return false
+		}
+		engine.Run(400)
+		if !reflect.DeepEqual(first, routeIDs(engine)) {
+			t.Logf("seed %d: Reset replay assigned different RouteIDs", seed)
+			return false
+		}
+		// ResetWith swapping in a shared-artifact instance (different
+		// table pointer, same deterministic contents) must replay the
+		// same IDs too.
+		inst := art.Instantiate()
+		if err := engine.ResetWith(seed, sim.ResetOptions{
+			Demand: inst.Demand,
+			Router: inst.Router,
+			Routes: inst.Routes,
+		}); err != nil {
+			t.Log(err)
+			return false
+		}
+		engine.Run(400)
+		if !reflect.DeepEqual(first, routeIDs(engine)) {
+			t.Logf("seed %d: ResetWith onto shared artifact assigned different RouteIDs", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// routeIDs snapshots the arena's interned route assignments.
+func routeIDs(e *sim.Engine) []vehicle.RouteID {
+	vs := e.Vehicles()
+	out := make([]vehicle.RouteID, len(vs))
+	for i := range vs {
+		out[i] = vs[i].Route
+	}
+	return out
+}
+
+// TestSharedArtifactEnginesDeterminism: two engines on instances of ONE
+// artifact, stepped concurrently (this is the aliasing probe CI runs
+// under -race), must each match an engine built from a private fresh
+// scenario — and must leave the shared artifact untouched.
+func TestSharedArtifactEnginesDeterminism(t *testing.T) {
+	setup := Default()
+	setup.Seed = 11
+	art, err := setup.BuildArtifact(PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableLen := art.Routes.Len()
+	const steps = 600
+	run := func(inst *Instance) (*sim.Engine, error) {
+		e, err := sim.New(sim.Config{
+			Net:         inst.Grid.Network,
+			Controllers: inst.Setup.UtilBP(),
+			Demand:      inst.Demand,
+			Router:      inst.Router,
+			Routes:      inst.Routes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Run(steps)
+		return e, e.CheckInvariants()
+	}
+	engines := make([]*sim.Engine, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			engines[i], errs[i] = run(art.Instantiate())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shared engine %d: %v", i, err)
+		}
+	}
+	fresh, err := setup.Build(PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := run(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range engines {
+		if e.Totals() != ref.Totals() {
+			t.Fatalf("shared engine %d totals %+v != fresh %+v", i, e.Totals(), ref.Totals())
+		}
+		if !reflect.DeepEqual(e.Vehicles(), ref.Vehicles()) {
+			t.Fatalf("shared engine %d vehicle arena diverges from fresh run", i)
+		}
+	}
+	if art.Routes.Len() != tableLen {
+		t.Fatalf("concurrent runs mutated the shared route table (%d -> %d)", tableLen, art.Routes.Len())
+	}
+}

@@ -7,48 +7,93 @@ import (
 	"utilbp/internal/vehicle"
 )
 
-// Router implements the paper's route model: a vehicle entering the
-// network turns right or left with the Table I probabilities of its
-// entry side, "while the intersection at which a vehicle takes the turn
-// is selected randomly" — uniformly among the junctions on its straight
-// path; after the turn it continues straight to the boundary.
-type Router struct {
-	src   *rng.Source
+// routeIndex is the immutable route-ID layout of an artifact: every
+// one-turn route of the paper's model (Table I turn, uniformly selected
+// turning junction) interned once at build time, in a deterministic
+// order, so two artifacts for structurally identical grids agree on
+// every RouteID. Routers read it, never write it.
+type routeIndex struct {
 	probs [4]TurnProbs
 	// sideOf is road-indexed (dense IDs); -1 marks a non-entry road.
 	sideOf  []int8
 	pathLen [4]int
+	// right[side][at] / left[side][at] are the interned IDs of
+	// OneTurn(Right|Left, at) for vehicles entering from side.
+	right [4][]vehicle.RouteID
+	left  [4][]vehicle.RouteID
 }
 
-// NewRouter builds the router for a grid. probs defaults to Table I when
-// nil.
-func NewRouter(g *network.GridNetwork, probs map[network.Dir]TurnProbs, src *rng.Source) *Router {
+// buildRouteIndex interns every route the paper's model can assign on
+// this grid into table and records the ID layout. Interning order is
+// fixed (sides in network.Dirs order, right before left, turning
+// junction ascending), the determinism the shared-artifact replay
+// contract rests on.
+func buildRouteIndex(g *network.GridNetwork, probs map[network.Dir]TurnProbs, table *vehicle.RouteTable) *routeIndex {
 	if probs == nil {
 		probs = TableI
 	}
-	r := &Router{
-		src:    src,
+	idx := &routeIndex{
 		sideOf: make([]int8, len(g.Network.Roads)),
 	}
-	for i := range r.sideOf {
-		r.sideOf[i] = -1
+	for i := range idx.sideOf {
+		idx.sideOf[i] = -1
 	}
 	for _, side := range network.Dirs {
-		r.probs[side] = probs[side]
+		idx.probs[side] = probs[side]
 		for _, rid := range g.Entries(side) {
-			if int(rid) >= 0 && int(rid) < len(r.sideOf) {
-				r.sideOf[rid] = int8(side)
+			if int(rid) >= 0 && int(rid) < len(idx.sideOf) {
+				idx.sideOf[rid] = int8(side)
 			}
 		}
 		// A vehicle entering from the north or south crosses Rows
 		// junctions going straight; east/west crosses Cols.
+		n := g.Cols()
 		if side == network.North || side == network.South {
-			r.pathLen[side] = g.Rows()
-		} else {
-			r.pathLen[side] = g.Cols()
+			n = g.Rows()
+		}
+		idx.pathLen[side] = n
+		idx.right[side] = make([]vehicle.RouteID, n)
+		idx.left[side] = make([]vehicle.RouteID, n)
+		for at := 0; at < n; at++ {
+			idx.right[side][at] = table.Intern(vehicle.OneTurn(network.Right, at))
+			idx.left[side][at] = table.Intern(vehicle.OneTurn(network.Left, at))
 		}
 	}
-	return r
+	return idx
+}
+
+// Router implements the paper's route model: a vehicle entering the
+// network turns right or left with the Table I probabilities of its
+// entry side, "while the intersection at which a vehicle takes the turn
+// is selected randomly" — uniformly among the junctions on its straight
+// path; after the turn it continues straight to the boundary. The
+// returned routes are interned IDs into the artifact's shared
+// RouteTable; the router owns only its RNG stream.
+type Router struct {
+	src   *rng.Source
+	idx   *routeIndex
+	table *vehicle.RouteTable
+}
+
+// RouteTable implements sim.RouteTabler: it returns the shared table the
+// router's IDs index, so sim.New can fall back to it when Config.Routes
+// is left nil.
+func (r *Router) RouteTable() *vehicle.RouteTable { return r.table }
+
+// NewRouter builds a router over the artifact's interned route layout,
+// drawing from the given stream. Engine.Reset rewinds it through the
+// Reseeder contract.
+func (a *Artifact) NewRouter(src *rng.Source) *Router {
+	return &Router{src: src, idx: a.routes, table: a.Routes}
+}
+
+// NewGridRouter builds a standalone router for a grid outside any
+// artifact, interning the grid's one-turn routes into a fresh table.
+// The returned table must be passed to the engine (sim.Config.Routes)
+// alongside the router. probs defaults to Table I when nil.
+func NewGridRouter(g *network.GridNetwork, probs map[network.Dir]TurnProbs, src *rng.Source) (*Router, *vehicle.RouteTable) {
+	table := vehicle.NewRouteTable()
+	return &Router{src: src, idx: buildRouteIndex(g, probs, table), table: table}, table
 }
 
 // Reseed implements sim.Reseeder: it rewinds the route stream to the one
@@ -58,29 +103,35 @@ func (r *Router) Reseed(seed uint64) {
 	r.src = rng.New(seed).Split("routes")
 }
 
-// Route implements sim.RouteChooser. The returned plan is a compact
-// value, so the call contributes no heap allocation to the spawn path.
-func (r *Router) Route(entry network.RoadID, _ float64) vehicle.Plan {
-	if entry < 0 || int(entry) >= len(r.sideOf) || r.sideOf[entry] < 0 {
-		return vehicle.StraightThrough
+// Route implements sim.RouteChooser. The returned interned ID indexes
+// the artifact's route table; the call draws from the router's stream
+// exactly like the pre-interning implementation did (one Float64, plus
+// one Intn when turning), so RNG sequences — and therefore golden runs —
+// are unchanged.
+func (r *Router) Route(entry network.RoadID, _ float64) vehicle.RouteID {
+	idx := r.idx
+	if entry < 0 || int(entry) >= len(idx.sideOf) || idx.sideOf[entry] < 0 {
+		return vehicle.StraightRoute
 	}
-	side := network.Dir(r.sideOf[entry])
-	p := r.probs[side]
+	side := network.Dir(idx.sideOf[entry])
+	p := idx.probs[side]
 	u := r.src.Float64()
-	var turn network.Turn
+	var ids []vehicle.RouteID
 	switch {
 	case u < p.Right:
-		turn = network.Right
+		ids = idx.right[side]
 	case u < p.Right+p.Left:
-		turn = network.Left
+		ids = idx.left[side]
 	default:
-		return vehicle.StraightThrough
+		return vehicle.StraightRoute
 	}
-	n := r.pathLen[side]
+	n := idx.pathLen[side]
 	if n <= 0 {
-		return vehicle.StraightThrough
+		return vehicle.StraightRoute
 	}
-	return vehicle.OneTurn(turn, r.src.Intn(n))
+	return ids[r.src.Intn(n)]
 }
 
 var _ sim.RouteChooser = (*Router)(nil)
+var _ sim.Reseeder = (*Router)(nil)
+var _ sim.RouteTabler = (*Router)(nil)

@@ -3,7 +3,7 @@
 // Table II traffic patterns (plus the 4-hour mixed pattern and the
 // rush-hour ramp extension), the 4-second amber, alpha = -1 and
 // beta = -2, with the saturation flow calibrated to 0.5 veh/s per
-// movement (see DESIGN.md §7).
+// movement (see DESIGN.md §8).
 //
 // Beyond the paper's grid, the package keeps a registry of named
 // workloads (Workloads, RegisterWorkload) — asymmetric grids, an
@@ -13,13 +13,11 @@ package scenario
 
 import (
 	"fmt"
-	"math"
 
 	"utilbp/internal/bp"
 	"utilbp/internal/core"
 	"utilbp/internal/fixedtime"
 	"utilbp/internal/network"
-	"utilbp/internal/rng"
 	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 )
@@ -183,7 +181,7 @@ type Setup struct {
 // flow is 0.5 veh/s per movement (the standard ~1800 veh/h), which puts
 // the queue simulator in the same congestion regime as the paper's SUMO
 // runs; back-pressure decisions are invariant to a uniform µ scaling, so
-// this choice only moves the operating point (see DESIGN.md §7).
+// this choice only moves the operating point (see DESIGN.md §8).
 func Default() Setup {
 	grid := network.DefaultGridSpec()
 	grid.Mu = 0.5
@@ -215,81 +213,17 @@ func (s Setup) withDefaults() Setup {
 	return s
 }
 
-// Built is an instantiated scenario ready to simulate.
-type Built struct {
-	// Grid is the instantiated road network.
-	Grid *network.GridNetwork
-	// Demand is the arrival process driving the entry roads.
-	Demand sim.ArrivalProcess
-	// Router assigns route plans to spawned vehicles.
-	Router sim.RouteChooser
-	// Duration is the pattern's default horizon in seconds.
-	Duration float64
-	// Setup records the constants the scenario was built with.
-	Setup Setup
-	// Rate is the arrival-rate function behind Demand, kept so callers
-	// can integrate the demand horizon (see ExpectedVehicles).
-	Rate sim.RateFunc
-}
-
-// ExpectedVehicles estimates how many vehicles the demand generates over
-// a horizon of durationSec seconds, by integrating the arrival rate over
-// every entry road. The sim layer uses it to pre-size the vehicle arena
-// so the spawn path never grows a slice mid-run; the estimate includes
-// Poisson headroom, so it is an upper bound for typical runs, not a hard
-// limit — the arena still grows if a run exceeds it.
-func (b *Built) ExpectedVehicles(durationSec float64) int {
-	if b.Rate == nil || durationSec <= 0 {
-		return 0
-	}
-	// Sample the (piecewise-constant) rate on a 60 s grid; exact for the
-	// paper's hourly pattern switches and close enough elsewhere.
-	const sampleSec = 60.0
-	total := 0.0
-	for _, side := range network.Dirs {
-		for _, rid := range b.Grid.Entries(side) {
-			for t := 0.0; t < durationSec; t += sampleSec {
-				step := sampleSec
-				if rem := durationSec - t; rem < step {
-					step = rem
-				}
-				total += b.Rate(rid, t) * step
-			}
-		}
-	}
-	// ~4σ Poisson headroom plus a constant floor for tiny horizons.
-	return int(total+4*math.Sqrt(total)) + 64
-}
-
-// Build instantiates the scenario for a pattern.
-func (s Setup) Build(pattern Pattern) (*Built, error) {
-	s = s.withDefaults()
-	g, err := network.Grid(s.Grid)
+// Build instantiates the scenario for a pattern: a fresh immutable
+// Artifact plus mutable per-run collaborators. Callers that run many
+// engines should build the artifact once (BuildArtifact or an
+// ArtifactCache) and call Instantiate per engine instead, sharing the
+// immutable part by reference.
+func (s Setup) Build(pattern Pattern) (*Instance, error) {
+	a, err := s.BuildArtifact(pattern)
 	if err != nil {
 		return nil, err
 	}
-	root := rng.New(s.Seed)
-	rate, err := demandRate(g, pattern)
-	if err != nil {
-		return nil, err
-	}
-	if s.DemandScale > 0 && s.DemandScale != 1 {
-		base := rate
-		scale := s.DemandScale
-		rate = func(r network.RoadID, t float64) float64 { return scale * base(r, t) }
-	}
-	demand := sim.NewPoissonDemand(root.Split("demand"), rate)
-	demand.SetDerivation(func(seed uint64) *rng.Source {
-		return rng.New(seed).Split("demand")
-	})
-	return &Built{
-		Grid:     g,
-		Demand:   demand,
-		Router:   NewRouter(g, s.TurnProbs, root.Split("routes")),
-		Duration: pattern.Duration(),
-		Setup:    s,
-		Rate:     rate,
-	}, nil
+	return a.Instantiate(), nil
 }
 
 // demandRate converts the pattern's Table II rows into a RateFunc over

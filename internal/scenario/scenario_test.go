@@ -6,6 +6,7 @@ import (
 
 	"utilbp/internal/network"
 	"utilbp/internal/rng"
+	"utilbp/internal/vehicle"
 )
 
 func TestPatternTables(t *testing.T) {
@@ -132,13 +133,13 @@ func TestRouterDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRouter(built.Grid, nil, rng.New(7))
+	r := built.NewRouter(rng.New(7))
 	north := built.Grid.Entries(network.North)[1]
 	const n = 20000
 	counts := map[network.Turn]int{}
 	atCounts := map[int]int{}
 	for i := 0; i < n; i++ {
-		route := r.Route(north, 0)
+		route := built.Routes.Plan(r.Route(north, 0))
 		// Classify: find the single turn (if any) in the first 3 junctions.
 		turn := network.Straight
 		at := -1
@@ -173,8 +174,8 @@ func TestRouterDistribution(t *testing.T) {
 
 func TestRouterUnknownEntry(t *testing.T) {
 	built, _ := Default().Build(PatternI)
-	r := NewRouter(built.Grid, nil, rng.New(7))
-	if route := r.Route(network.RoadID(9999), 0); !route.IsStraight() {
+	r := built.NewRouter(rng.New(7))
+	if route := r.Route(network.RoadID(9999), 0); route != vehicle.StraightRoute {
 		t.Error("unknown entry should route straight")
 	}
 }

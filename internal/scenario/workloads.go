@@ -19,6 +19,21 @@ type Workload struct {
 	Setup Setup
 	// Pattern selects the demand shape.
 	Pattern Pattern
+	// SweepHorizonSec is the suggested horizon in seconds for sweep-style
+	// consumers (perf trajectory runs, pooled-vs-serial pins) that
+	// otherwise apply one flat horizon to every workload. Zero means "use
+	// the consumer's default"; city-scale grids set it so a sweep over
+	// the registry stays minutes, not hours.
+	SweepHorizonSec float64
+}
+
+// SweepHorizon returns the workload's suggested sweep horizon, falling
+// back to the consumer's default when the workload does not set one.
+func (w Workload) SweepHorizon(defaultSec float64) float64 {
+	if w.SweepHorizonSec > 0 {
+		return w.SweepHorizonSec
+	}
+	return defaultSec
 }
 
 var workloads = map[string]Workload{}
@@ -103,5 +118,19 @@ func init() {
 		Description: "3×3 grid under a trapezoidal demand ramp peaking above the paper's operating point",
 		Setup:       Default(),
 		Pattern:     PatternRush,
+	})
+	MustRegisterWorkload(Workload{
+		Name:            "city-grid",
+		Description:     "16×16 grid (256 junctions) under uniform Table II demand — the city-scale memory/throughput stress",
+		Setup:           gridSetup(16, 16),
+		Pattern:         PatternII,
+		SweepHorizonSec: 300,
+	})
+	MustRegisterWorkload(Workload{
+		Name:            "downtown-core",
+		Description:     "8×8 grid under Pattern IV single-heavy demand — asymmetric load on a dense core",
+		Setup:           gridSetup(8, 8),
+		Pattern:         PatternIV,
+		SweepHorizonSec: 450,
 	})
 }

@@ -119,20 +119,23 @@ func TestScheduledDemand(t *testing.T) {
 }
 
 func TestRouterAdapters(t *testing.T) {
-	if (StraightRouter{}).Route(0, 0).TurnAt(0) != network.Straight {
+	routes := vehicle.NewRouteTable()
+	if routes.TurnAt((StraightRouter{}).Route(0, 0), 0) != network.Straight {
 		t.Error("straight router turned")
 	}
-	if (FixedRouter{}).Route(0, 0).TurnAt(0) != network.Straight {
-		t.Error("nil fixed router should default to straight")
+	if routes.TurnAt((FixedRouter{}).Route(0, 0), 0) != network.Straight {
+		t.Error("zero fixed router should default to straight")
 	}
-	fr := FixedRouter{R: vehicle.OneTurn(network.Left, 0)}
-	if fr.Route(0, 0).TurnAt(0) != network.Left {
+	left := routes.Intern(vehicle.OneTurn(network.Left, 0))
+	fr := FixedRouter{R: left}
+	if routes.TurnAt(fr.Route(0, 0), 0) != network.Left {
 		t.Error("fixed router ignored its route")
 	}
-	rf := RouteFunc(func(entry network.RoadID, _ float64) vehicle.Plan {
-		return vehicle.OneTurn(network.Right, 1)
+	right := routes.Intern(vehicle.OneTurn(network.Right, 1))
+	rf := RouteFunc(func(entry network.RoadID, _ float64) vehicle.RouteID {
+		return right
 	})
-	if rf.Route(3, 0).TurnAt(1) != network.Right {
+	if routes.TurnAt(rf.Route(3, 0), 1) != network.Right {
 		t.Error("route func not applied")
 	}
 }

@@ -22,6 +22,13 @@ func staticFactory(p signal.Phase) signal.Factory {
 	}}
 }
 
+// fixedRoute interns a single plan into a fresh table and returns the
+// router/table pair a Config needs to hand that plan to every vehicle.
+func fixedRoute(p vehicle.Plan) (FixedRouter, *vehicle.RouteTable) {
+	table := vehicle.NewRouteTable()
+	return FixedRouter{R: table.Intern(p)}, table
+}
+
 func grid1x1(t *testing.T) *network.GridNetwork {
 	t.Helper()
 	spec := network.DefaultGridSpec()
@@ -285,11 +292,13 @@ func TestTurningRoutesCrossMultipleJunctions(t *testing.T) {
 	north := g.Entries(network.North)[0]
 	sched := NewScheduledDemand()
 	sched.Add(north, 0, 1)
+	router, routes := fixedRoute(vehicle.OneTurn(network.Left, 1))
 	e, err := New(Config{
 		Net:         g.Network,
 		Controllers: fixedtime.Factory(fixedtime.Options{GreenSteps: 10, AmberSteps: 2}),
 		Demand:      sched,
-		Router:      FixedRouter{R: vehicle.OneTurn(network.Left, 1)},
+		Router:      router,
+		Routes:      routes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -399,12 +408,13 @@ func TestMixedLanesHOLBlocking(t *testing.T) {
 	north := g.Entries(network.North)[0]
 	sched := NewScheduledDemand()
 	sched.Add(north, 0, 2) // two vehicles, same slot: FIFO order by ID
-	routes := []vehicle.Plan{
-		vehicle.OneTurn(network.Right, 0), // head: right turn
-		vehicle.StraightThrough,           // follower: straight
+	table := vehicle.NewRouteTable()
+	routes := []vehicle.RouteID{
+		table.Intern(vehicle.OneTurn(network.Right, 0)), // head: right turn
+		vehicle.StraightRoute,                           // follower: straight
 	}
 	next := 0
-	router := RouteFunc(func(network.RoadID, float64) vehicle.Plan {
+	router := RouteFunc(func(network.RoadID, float64) vehicle.RouteID {
 		r := routes[next%len(routes)]
 		next++
 		return r
@@ -415,6 +425,7 @@ func TestMixedLanesHOLBlocking(t *testing.T) {
 			Controllers: staticFactory(1), // c1: N/S straight+left — no right link
 			Demand:      sched,
 			Router:      router,
+			Routes:      table,
 			MixedLanes:  mixed,
 		})
 		if err != nil {

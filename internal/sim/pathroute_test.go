@@ -29,11 +29,13 @@ func TestPathRouteFollowsTurnPath(t *testing.T) {
 	}
 	sched := NewScheduledDemand()
 	sched.Add(entry, 0, 1)
+	router, routes := fixedRoute(vehicle.PathPlan(turns...))
 	e, err := New(Config{
 		Net:         g.Network,
 		Controllers: fixedtime.Factory(fixedtime.Options{GreenSteps: 10, AmberSteps: 2}),
 		Demand:      sched,
-		Router:      FixedRouter{R: vehicle.PathPlan(turns...)},
+		Router:      router,
+		Routes:      routes,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -47,6 +47,7 @@ func TestControlCoercesOutOfRangePhases(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			router, routes := scenario.NewGridRouter(grid, nil, nil)
 			engine, err := sim.New(sim.Config{
 				Net: grid.Network,
 				Controllers: signal.FactoryFunc{
@@ -56,7 +57,8 @@ func TestControlCoercesOutOfRangePhases(t *testing.T) {
 					},
 				},
 				Demand: sim.NewScheduledDemand(),
-				Router: scenario.NewRouter(grid, nil, nil),
+				Router: router,
+				Routes: routes,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -152,11 +152,13 @@ func TestTransitObservation(t *testing.T) {
 	sched := NewScheduledDemand()
 	sched.Add(north, 0, 2)
 	ctrl := &captureCtrl{phase: signal.Amber}
+	router, routes := fixedRoute(vehicle.OneTurn(network.Left, 0))
 	e, err := New(Config{
 		Net:         g.Network,
 		Controllers: signal.FactoryFunc{Label: "c", Build: func(signal.JunctionInfo) (signal.Controller, error) { return ctrl, nil }},
 		Demand:      sched,
-		Router: FixedRouter{R: vehicle.OneTurn(network.Left, 0)},
+		Router:      router,
+		Routes:      routes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -214,13 +216,15 @@ func TestRouteFallbackCounted(t *testing.T) {
 	}
 	sched := NewScheduledDemand()
 	sched.Add(entry, 0, 1)
+	// From the north heading south, a left turn exits east — the
+	// missing arm.
+	router, routes := fixedRoute(vehicle.OneTurn(network.Left, 0))
 	e, err := New(Config{
 		Net:         net,
 		Controllers: staticFactory(1),
 		Demand:      sched,
-		// From the north heading south, a left turn exits east — the
-		// missing arm.
-		Router: FixedRouter{R: vehicle.OneTurn(network.Left, 0)},
+		Router:      router,
+		Routes:      routes,
 	})
 	if err != nil {
 		t.Fatal(err)

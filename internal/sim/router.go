@@ -5,39 +5,51 @@ import (
 	"utilbp/internal/vehicle"
 )
 
-// RouteChooser assigns a route plan to each spawned vehicle. Plans are
-// compact values (vehicle.Plan), so implementations can hand them out on
-// the spawn path without heap allocation. The paper's Table-I chooser
-// (turn probabilities per entry side, turning junction selected uniformly)
-// lives in the scenario package; the implementations here cover tests and
-// simple workloads.
+// RouteChooser assigns a route to each spawned vehicle, as an interned
+// vehicle.RouteID into the run's route table (Config.Routes). Handing
+// out a 4-byte ID keeps the spawn path allocation-free and the vehicle
+// arena entry small; implementations intern their plans at construction
+// time, never during a run (the table is shared read-only — see
+// DESIGN.md §5). The paper's Table-I chooser lives in the scenario
+// package; the implementations here cover tests and simple workloads.
 type RouteChooser interface {
-	// Route returns the route plan for a vehicle spawned on the given
-	// entry road at time t.
-	Route(entry network.RoadID, t float64) vehicle.Plan
+	// Route returns the route for a vehicle spawned on the given entry
+	// road at time t. The ID must index the table the engine was
+	// configured with.
+	Route(entry network.RoadID, t float64) vehicle.RouteID
 }
 
-// StraightRouter sends every vehicle straight through the network.
+// RouteTabler is implemented by route choosers that carry the table
+// their RouteIDs index. When Config.Routes is nil, sim.New falls back to
+// the router's own table, so a chooser/table pair can never come apart
+// by omission.
+type RouteTabler interface {
+	// RouteTable returns the table the chooser's RouteIDs index into.
+	RouteTable() *vehicle.RouteTable
+}
+
+// StraightRouter sends every vehicle straight through the network. It
+// works with any route table (RouteID 0 is always the straight route).
 type StraightRouter struct{}
 
 // Route implements RouteChooser.
-func (StraightRouter) Route(network.RoadID, float64) vehicle.Plan {
-	return vehicle.StraightThrough
+func (StraightRouter) Route(network.RoadID, float64) vehicle.RouteID {
+	return vehicle.StraightRoute
 }
 
-// FixedRouter assigns the same route plan to every vehicle.
+// FixedRouter assigns the same route to every vehicle.
 type FixedRouter struct {
-	// R is the plan to assign; the zero Plan goes straight through.
-	R vehicle.Plan
+	// R is the route to assign; the zero RouteID goes straight through.
+	R vehicle.RouteID
 }
 
 // Route implements RouteChooser.
-func (f FixedRouter) Route(network.RoadID, float64) vehicle.Plan {
+func (f FixedRouter) Route(network.RoadID, float64) vehicle.RouteID {
 	return f.R
 }
 
 // RouteFunc adapts a function to RouteChooser.
-type RouteFunc func(entry network.RoadID, t float64) vehicle.Plan
+type RouteFunc func(entry network.RoadID, t float64) vehicle.RouteID
 
 // Route implements RouteChooser.
-func (f RouteFunc) Route(entry network.RoadID, t float64) vehicle.Plan { return f(entry, t) }
+func (f RouteFunc) Route(entry network.RoadID, t float64) vehicle.RouteID { return f(entry, t) }

@@ -38,18 +38,78 @@ func warmEngine(t testing.TB, warmup int) *sim.Engine {
 }
 
 // TestStepOnceSteadyStateAllocs is the zero-allocation regression gate:
-// with the arena, lanes and heaps grown during warmup and no fresh
-// arrivals, advancing the simulation must perform zero heap allocations.
+// with the arena and heaps grown during warmup, the lane rings pre-sized
+// from link capacity at construction, and no fresh arrivals, advancing
+// the simulation must perform zero heap allocations — over the FULL
+// drain window, from loaded network through complete drain-out to empty
+// stepping. (Before the ring-buffer lanes, drain reshuffling could grow
+// a lane past its warm high-water mark and allocate ~0.008 times per
+// step outside a strict window; the rings retire that caveat.)
 func TestStepOnceSteadyStateAllocs(t *testing.T) {
 	engine := warmEngine(t, 600)
 	if engine.Totals().Spawned == 0 {
 		t.Fatal("warmup spawned no vehicles")
 	}
-	allocs := testing.AllocsPerRun(50, func() {
+	occupied := func() int {
+		n := 0
+		for rid := range engine.Network().Roads {
+			n += engine.Occupancy(network.RoadID(rid))
+		}
+		return n
+	}
+	if occupied() == 0 {
+		t.Fatal("warmup left the network empty; drain window would measure nothing")
+	}
+	// 400 runs of 20 steps (plus AllocsPerRun's warmup call) cover the
+	// entire drain of the quiesced network and a long empty-network tail.
+	allocs := testing.AllocsPerRun(400, func() {
+		engine.Run(20)
+	})
+	if allocs != 0 {
+		t.Fatalf("full-drain-window stepOnce allocates: %v allocs per Run(20), want 0", allocs)
+	}
+	if occupied() != 0 {
+		t.Fatalf("%d vehicles still in network after the drain window; widen it", occupied())
+	}
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCityGridSteadyStateAllocs extends the zero-allocation steady-state
+// contract to the 16×16 city-grid workload: once warm, stepping a
+// 256-junction network must not touch the heap either.
+func TestCityGridSteadyStateAllocs(t *testing.T) {
+	w, ok := scenario.WorkloadByName("city-grid")
+	if !ok {
+		t.Fatal("city-grid workload not registered")
+	}
+	setup := w.Setup
+	setup.Seed = 7
+	const warmup = 300
+	built, err := setup.Build(w.Pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+		Router:      built.Router,
+		Routes:      built.Routes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(warmup + 20)
+	if engine.Totals().Spawned == 0 {
+		t.Fatal("warmup spawned no vehicles")
+	}
+	allocs := testing.AllocsPerRun(30, func() {
 		engine.Run(5)
 	})
 	if allocs != 0 {
-		t.Fatalf("steady-state stepOnce allocates: %v allocs per Run(5), want 0", allocs)
+		t.Fatalf("city-grid steady-state stepOnce allocates: %v allocs per Run(5), want 0", allocs)
 	}
 	if err := engine.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -3,22 +3,36 @@
 // setup: a vehicle entering the network goes straight except for at most
 // one turn, taken at a randomly selected intersection along its way.
 //
-// Route plans are compact values (Plan), not interfaces: assigning one to
-// a vehicle never heap-allocates, which keeps the engine's spawn path
-// allocation-free (see DESIGN.md §3 and PERF.md).
+// Route plans are described by compact Plan values and stored interned:
+// a RouteTable deduplicates every distinct plan once and hands out dense
+// uint32 RouteIDs, so a Vehicle carries a 4-byte index instead of a
+// 40-byte plan (slice header included) and the whole vehicle arena
+// shrinks accordingly. The table is immutable after scenario build and
+// safe to share by reference across engines and goroutines (see
+// DESIGN.md §5 and PERF.md).
 package vehicle
 
-import "utilbp/internal/network"
+import (
+	"fmt"
 
-// ID indexes a vehicle in the simulation's vehicle arena.
-type ID int
+	"utilbp/internal/network"
+)
+
+// ID indexes a vehicle in the simulation's vehicle arena. It is 32-bit
+// on purpose: the arena never exceeds 2^31 vehicles, and the narrower
+// field keeps the arena entry at 56 bytes.
+type ID int32
 
 // Unset marks timestamps that have not happened yet.
 const Unset = -1
 
 // Vehicle is one vehicle's lifecycle record. Times are simulation seconds.
+// The struct is the vehicle-arena entry, so its layout is kept dense:
+// 32-bit ID and interned RouteID first, then the 64-bit fields.
 type Vehicle struct {
-	ID        ID
+	ID ID
+	// Route indexes the vehicle's plan in the run's shared RouteTable.
+	Route     RouteID
 	EntryRoad network.RoadID
 	// SpawnedAt is when the arrival process generated the vehicle;
 	// EnteredAt is when it physically joined its entry road (later than
@@ -31,9 +45,8 @@ type Vehicle struct {
 	// turning lanes plus waiting to enter a full entry road.
 	QueueWait float64
 	// Junctions counts the junctions the vehicle has been served
-	// through; it indexes Plan.TurnAt.
+	// through; it is the encounter index RouteTable.TurnAt resolves.
 	Junctions int
-	Route     Plan
 }
 
 // InNetwork reports whether the vehicle has entered and not yet exited.
@@ -52,9 +65,9 @@ func (v *Vehicle) TripTime() float64 {
 
 // Plan decides the movement a vehicle makes at each junction it meets. It
 // is a compact value representation — the zero Plan goes straight through
-// the whole network — so storing one in a Vehicle involves no interface
-// boxing and no heap allocation on the spawn path. Construct plans with
-// OneTurn or PathPlan.
+// the whole network. Plans are not stored on vehicles directly: they are
+// interned into a RouteTable and referenced by RouteID. Construct plans
+// with OneTurn or PathPlan.
 type Plan struct {
 	// turns, when non-nil, is an explicit per-junction movement list for
 	// arbitrary topologies; junctions beyond the list are crossed
@@ -119,8 +132,109 @@ func (p Plan) IsStraight() bool {
 	return p.at1 == 0 || p.turn == network.Straight
 }
 
+// RouteID is an interned route: a dense index into a RouteTable. The
+// zero RouteID is always the straight-through route, so a zero Vehicle
+// is valid in any table.
+type RouteID uint32
+
+// StraightRoute is the RouteID of the straight-through plan in every
+// RouteTable.
+const StraightRoute RouteID = 0
+
+// RouteTable interns route plans: each distinct plan is stored once and
+// referenced by a dense RouteID. Interning happens at scenario build
+// time; after that the table is read-only, which makes it safe to share
+// by reference across engines and goroutines (the artifact contract of
+// DESIGN.md §5). Entry 0 is always StraightThrough. The zero value is
+// not usable; construct with NewRouteTable.
+type RouteTable struct {
+	plans []Plan
+	index map[planKey]RouteID
+}
+
+// planKey canonicalizes a plan for dedup: behaviorally straight plans
+// collapse to the zero key, one-turn plans key on (turn, at1), and
+// explicit paths key on their rendered movement list.
+type planKey struct {
+	turn network.Turn
+	at1  int
+	path string
+}
+
+func keyOf(p Plan) planKey {
+	if p.IsStraight() {
+		return planKey{}
+	}
+	if p.turns != nil {
+		return planKey{path: string(turnBytes(p.turns))}
+	}
+	return planKey{turn: p.turn, at1: p.at1}
+}
+
+// turnBytes renders a movement list as bytes (network.Turn is uint8).
+func turnBytes(turns []network.Turn) []byte {
+	b := make([]byte, len(turns))
+	for i, t := range turns {
+		b[i] = byte(t)
+	}
+	return b
+}
+
+// NewRouteTable returns a table holding only the straight-through route
+// at RouteID 0.
+func NewRouteTable() *RouteTable {
+	t := &RouteTable{index: make(map[planKey]RouteID)}
+	t.plans = append(t.plans, StraightThrough)
+	t.index[planKey{}] = StraightRoute
+	return t
+}
+
+// Intern returns the RouteID for the plan, adding it to the table on
+// first sight. IDs are assigned in insertion order, so two tables built
+// by the same deterministic interning sequence agree on every ID.
+// Intern must only be called during scenario build — a table referenced
+// by a running engine is read-only.
+func (t *RouteTable) Intern(p Plan) RouteID {
+	k := keyOf(p)
+	if id, ok := t.index[k]; ok {
+		return id
+	}
+	id := RouteID(len(t.plans))
+	t.plans = append(t.plans, p)
+	t.index[k] = id
+	return id
+}
+
+// Plan returns the interned plan for an ID; out-of-range IDs return the
+// straight-through plan.
+func (t *RouteTable) Plan(id RouteID) Plan {
+	if int(id) >= len(t.plans) {
+		return StraightThrough
+	}
+	return t.plans[id]
+}
+
+// TurnAt resolves the movement route id takes at the n-th junction
+// encountered (0-based). It is the engine's per-service route lookup:
+// one bounds check and a value-plan TurnAt, no pointer chasing.
+func (t *RouteTable) TurnAt(id RouteID, n int) network.Turn {
+	if int(id) >= len(t.plans) {
+		return network.Straight
+	}
+	return t.plans[id].TurnAt(n)
+}
+
+// Len returns the number of interned routes (at least 1: the straight
+// route).
+func (t *RouteTable) Len() int { return len(t.plans) }
+
+// String summarizes the table for diagnostics.
+func (t *RouteTable) String() string {
+	return fmt.Sprintf("RouteTable(%d routes)", len(t.plans))
+}
+
 // New returns a vehicle in the just-spawned state.
-func New(id ID, entry network.RoadID, spawnedAt float64, route Plan) Vehicle {
+func New(id ID, entry network.RoadID, spawnedAt float64, route RouteID) Vehicle {
 	return Vehicle{
 		ID:        id,
 		EntryRoad: entry,

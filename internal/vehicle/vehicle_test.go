@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewDefaults(t *testing.T) {
-	v := New(3, 7, 12.5, Plan{})
+	v := New(3, 7, 12.5, StraightRoute)
 	if v.ID != 3 || v.EntryRoad != 7 || v.SpawnedAt != 12.5 {
 		t.Fatalf("unexpected fields: %+v", v)
 	}
@@ -18,13 +18,13 @@ func TestNewDefaults(t *testing.T) {
 	if v.InNetwork() || v.Done() {
 		t.Fatal("fresh vehicle should be neither in network nor done")
 	}
-	if v.Route.TurnAt(0) != network.Straight {
-		t.Fatal("zero plan should default to straight-through")
+	if NewRouteTable().TurnAt(v.Route, 0) != network.Straight {
+		t.Fatal("zero route should default to straight-through")
 	}
 }
 
 func TestLifecycle(t *testing.T) {
-	v := New(0, 0, 0, Plan{})
+	v := New(0, 0, 0, StraightRoute)
 	v.EnteredAt = 5
 	if !v.InNetwork() || v.Done() {
 		t.Fatal("entered vehicle should be in network")
@@ -107,5 +107,77 @@ func TestPathRoute(t *testing.T) {
 	}
 	if !PathPlan().IsStraight() {
 		t.Error("empty path should report straight")
+	}
+}
+
+func TestRouteTableInterning(t *testing.T) {
+	tab := NewRouteTable()
+	if tab.Len() != 1 {
+		t.Fatalf("fresh table holds %d routes, want 1 (straight)", tab.Len())
+	}
+	if got := tab.Intern(StraightThrough); got != StraightRoute {
+		t.Fatalf("straight interned as %d, want %d", got, StraightRoute)
+	}
+	// Behaviorally straight plans collapse onto RouteID 0.
+	if got := tab.Intern(OneTurn(network.Right, -1)); got != StraightRoute {
+		t.Fatalf("never-turning plan interned as %d, want 0", got)
+	}
+	if got := tab.Intern(PathPlan(network.Straight, network.Straight)); got != StraightRoute {
+		t.Fatalf("all-straight path interned as %d, want 0", got)
+	}
+	a := tab.Intern(OneTurn(network.Left, 2))
+	b := tab.Intern(OneTurn(network.Right, 2))
+	c := tab.Intern(PathPlan(network.Left, network.Right))
+	if a == StraightRoute || b == StraightRoute || c == StraightRoute {
+		t.Fatal("turning plans collapsed onto the straight route")
+	}
+	if a == b || b == c || a == c {
+		t.Fatalf("distinct plans share an ID: %d %d %d", a, b, c)
+	}
+	// Re-interning is idempotent.
+	if tab.Intern(OneTurn(network.Left, 2)) != a {
+		t.Fatal("re-interning produced a new ID")
+	}
+	if tab.Intern(PathPlan(network.Left, network.Right)) != c {
+		t.Fatal("re-interning a path plan produced a new ID")
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("table holds %d routes, want 4", tab.Len())
+	}
+	// Decoding round-trips.
+	if tab.TurnAt(a, 2) != network.Left || tab.TurnAt(a, 0) != network.Straight {
+		t.Fatal("interned one-turn plan decodes wrong")
+	}
+	if tab.TurnAt(c, 1) != network.Right {
+		t.Fatal("interned path plan decodes wrong")
+	}
+	// Out-of-range IDs resolve straight rather than panicking.
+	if tab.TurnAt(RouteID(999), 0) != network.Straight {
+		t.Fatal("out-of-range RouteID should resolve straight")
+	}
+	if !tab.Plan(RouteID(999)).IsStraight() {
+		t.Fatal("out-of-range Plan should be straight")
+	}
+}
+
+// TestRouteTableDeterministicIDs: two tables fed the same interning
+// sequence agree on every ID — the property the shared-artifact replay
+// contract rests on.
+func TestRouteTableDeterministicIDs(t *testing.T) {
+	plans := []Plan{
+		OneTurn(network.Left, 0),
+		OneTurn(network.Right, 3),
+		PathPlan(network.Right, network.Straight, network.Left),
+		OneTurn(network.Left, 0), // repeat
+		StraightThrough,
+	}
+	t1, t2 := NewRouteTable(), NewRouteTable()
+	for _, p := range plans {
+		if id1, id2 := t1.Intern(p), t2.Intern(p); id1 != id2 {
+			t.Fatalf("tables diverged: %d vs %d", id1, id2)
+		}
+	}
+	if t1.Len() != t2.Len() {
+		t.Fatalf("table sizes diverged: %d vs %d", t1.Len(), t2.Len())
 	}
 }
