@@ -15,6 +15,7 @@ import (
 	"utilbp/internal/core"
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
 	"utilbp/internal/sim"
 	"utilbp/internal/stability"
 )
@@ -360,12 +361,28 @@ func BenchmarkEngineSteps(b *testing.B) {
 // enforced by TestSpawnPathAllocs and TestStepOnceSteadyStateAllocs and
 // gated in CI — is exactly 0 B/op and 0 allocs/op with traffic flowing
 // and vehicles spawning every measured step.
-func BenchmarkStepOnce(b *testing.B) {
+func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, nil) }
+
+// BenchmarkStepOnceSensed is BenchmarkStepOnce with the sensing layer
+// explicitly engaged: the sensing.Perfect sensor installed, so every
+// mini-slot runs the dirty-link refresh AND the per-link sensor copy
+// into the separate observation array. Gated in CI at 0 B/op and
+// 0 allocs/op alongside the sensor-free benchmark — the sensing layer
+// must not reintroduce heap traffic on the hot path.
+func BenchmarkStepOnceSensed(b *testing.B) { stepOnceBench(b, sensing.Perfect{}) }
+
+// stepOnceBench is the shared warm-and-replay body of the StepOnce
+// benchmarks.
+func stepOnceBench(b *testing.B, sensor sensing.Sensor) {
+	b.Helper()
 	const horizon = 2000
 	setup := benchSetup()
 	built, err := setup.Build(scenario.PatternI)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if sensor != nil {
+		sensor.Reseed(setup.Seed)
 	}
 	engine, err := sim.New(sim.Config{
 		Net:              built.Grid.Network,
@@ -373,6 +390,7 @@ func BenchmarkStepOnce(b *testing.B) {
 		Demand:           built.Demand,
 		Router:           built.Router,
 		Routes:           built.Routes,
+		Sensor:           sensor,
 		ExpectedVehicles: built.ExpectedVehicles(horizon),
 	})
 	if err != nil {

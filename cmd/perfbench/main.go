@@ -37,6 +37,7 @@ import (
 
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
 	"utilbp/internal/sim"
 )
 
@@ -49,20 +50,47 @@ type Report struct {
 	GOARCH      string `json:"goarch"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	LoadedStep StepReport   `json:"loaded_step"`
-	SteadyStep StepReport   `json:"steady_step"`
-	Sweeps     []SweepTime  `json:"sweeps"`
-	EngineHeap []HeapReport `json:"engine_heap,omitempty"`
+	LoadedStep StepReport         `json:"loaded_step"`
+	SteadyStep StepReport         `json:"steady_step"`
+	Sensing    []SensorStepReport `json:"sensing,omitempty"`
+	Sweeps     []SweepTime        `json:"sweeps"`
+	EngineHeap []HeapReport       `json:"engine_heap,omitempty"`
 }
 
-// StepReport summarizes a stepping measurement.
+// StepReport summarizes a stepping measurement. The headline numbers
+// come from an uninstrumented run; Phases attributes time to the
+// mini-slot substeps from a second, instrumented run of an identical
+// engine (sim.Engine.RunTimed), whose clock reads add overhead — the
+// split is for attribution, not for absolute comparison.
 type StepReport struct {
-	Steps         int     `json:"steps"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	NsPerStep     float64 `json:"ns_per_step"`
-	StepsPerSec   float64 `json:"steps_per_sec"`
-	AllocsPerStep float64 `json:"allocs_per_step"`
-	BytesPerStep  float64 `json:"bytes_per_step"`
+	Steps         int         `json:"steps"`
+	WallSeconds   float64     `json:"wall_seconds"`
+	NsPerStep     float64     `json:"ns_per_step"`
+	StepsPerSec   float64     `json:"steps_per_sec"`
+	AllocsPerStep float64     `json:"allocs_per_step"`
+	BytesPerStep  float64     `json:"bytes_per_step"`
+	Phases        *PhaseSplit `json:"phases,omitempty"`
+}
+
+// PhaseSplit is the per-step wall time of each mini-slot substep:
+// sense (incremental observation maintenance + sensor model), control
+// (controller decisions), serve, travel completion and arrivals.
+type PhaseSplit struct {
+	SenseNs    float64 `json:"sense_ns"`
+	ControlNs  float64 `json:"control_ns"`
+	ServeNs    float64 `json:"serve_ns"`
+	TravelNs   float64 `json:"travel_ns"`
+	ArrivalsNs float64 `json:"arrivals_ns"`
+}
+
+// SensorStepReport is one sensing-overhead measurement: steady-state
+// stepping of a workload's grid with a given observation sensor
+// installed, so the cost of the sensing layer is visible next to the
+// sensor-free baseline.
+type SensorStepReport struct {
+	Workload string `json:"workload"`
+	Sensor   string `json:"sensor"`
+	StepReport
 }
 
 // SweepTime is the wall time of one experiment-layer sweep.
@@ -103,6 +131,7 @@ func main() {
 		stepP    = flag.Int("step", 10, "CAP-BP sweep step (s)")
 		serial   = flag.Bool("serial", false, "also time the serial reference scheduler")
 		workload = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
+		sense    = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
 		wlDur    = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
 		heap     = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
@@ -141,6 +170,18 @@ func main() {
 	report.SteadyStep = steadyRep
 	fmt.Printf("steady step:  %.0f steps/s, %.4f allocs/step\n", steadyRep.StepsPerSec, steadyRep.AllocsPerStep)
 
+	if *sense {
+		for _, c := range sensingCases() {
+			rep, err := measureSensing(c.workload, c.label, c.spec, c.explicit, *seed, *warmup, *steady)
+			if err != nil {
+				fatal(err)
+			}
+			report.Sensing = append(report.Sensing, rep)
+			fmt.Printf("sensing %s/%s: %.0f ns/step (sense %.0f ns), %.4f allocs/step\n",
+				c.workload, c.label, rep.NsPerStep, rep.Phases.SenseNs, rep.AllocsPerStep)
+		}
+	}
+
 	var periods []int
 	for p := *minP; p <= *maxP; p += *stepP {
 		periods = append(periods, p)
@@ -150,20 +191,30 @@ func main() {
 		seedList[i] = *seed + uint64(i)
 	}
 
-	sweeps := []struct {
-		name string
-		run  func() error
-	}{
-		{"table3_multiseed_pooled", func() error {
+	type sweepJob struct {
+		name     string
+		patterns int
+		periods  int
+		duration float64
+		run      func() error
+	}
+	sweeps := []sweepJob{
+		{"table3_multiseed_pooled", len(scenario.AllPatterns), len(periods), *duration, func() error {
 			_, err := experiment.TableIIIMultiSeed(setup, nil, periods, *duration, seedList)
 			return err
 		}},
 	}
+	if *sense {
+		// The penetration sweep's "periods" column counts its sensor
+		// specs: the perfect reference plus the cv:0.1..1.0 axis.
+		rates := experiment.DefaultPenetrationRates()
+		sweeps = append(sweeps, sweepJob{"penetration_cv_paper-grid", 1, len(rates) + 1, 900, func() error {
+			_, err := experiment.PenetrationSweep(setup, scenario.PatternII, rates, seedList, 900)
+			return err
+		}})
+	}
 	if *serial {
-		sweeps = append(sweeps, struct {
-			name string
-			run  func() error
-		}{"table3_multiseed_serial", func() error {
+		sweeps = append(sweeps, sweepJob{"table3_multiseed_serial", len(scenario.AllPatterns), len(periods), *duration, func() error {
 			_, err := experiment.TableIIIMultiSeedSerial(setup, nil, periods, *duration, seedList)
 			return err
 		}})
@@ -176,14 +227,14 @@ func main() {
 		wall := time.Since(start).Seconds()
 		report.Sweeps = append(report.Sweeps, SweepTime{
 			Name:        s.name,
-			Patterns:    len(scenario.AllPatterns),
+			Patterns:    s.patterns,
 			Seeds:       len(seedList),
-			Periods:     len(periods),
-			DurationSec: *duration,
+			Periods:     s.periods,
+			DurationSec: s.duration,
 			WallSeconds: wall,
 		})
-		fmt.Printf("%s: %.3fs (%d patterns x %d seeds x %d periods + UTIL runs)\n",
-			s.name, wall, len(scenario.AllPatterns), len(seedList), len(periods))
+		fmt.Printf("%s: %.3fs (%d patterns x %d seeds x %d cells + UTIL runs)\n",
+			s.name, wall, s.patterns, len(seedList), s.periods)
 	}
 
 	if *workload {
@@ -243,7 +294,9 @@ func main() {
 	fmt.Println("wrote", *out)
 }
 
-// measureLoaded times the engine with Pattern I demand flowing.
+// measureLoaded times the engine with Pattern I demand flowing. The
+// phase split comes from a second, instrumented engine over the same
+// seed and steps.
 func measureLoaded(setup scenario.Setup, steps int) (StepReport, error) {
 	engine, _, _, err := experiment.Prepare(experiment.Spec{
 		Setup: setup, Pattern: scenario.PatternI, Factory: setup.UtilBP(),
@@ -251,31 +304,124 @@ func measureLoaded(setup scenario.Setup, steps int) (StepReport, error) {
 	if err != nil {
 		return StepReport{}, err
 	}
-	return timeSteps(engine, steps), nil
-}
-
-// measureSteady warms an engine up, cuts demand, and times the quiesced
-// loop — the configuration whose contract is zero allocations per step.
-// The window must stay short (the -steady-steps default): once the
-// queued traffic drains to the terminals the loop steps an empty
-// network, and a long window would average that in and overstate
-// throughput.
-func measureSteady(setup scenario.Setup, warmup, steps int) (StepReport, error) {
-	built, err := setup.Build(scenario.PatternI)
+	rep := timeSteps(engine, steps)
+	timed, _, _, err := experiment.Prepare(experiment.Spec{
+		Setup: setup, Pattern: scenario.PatternI, Factory: setup.UtilBP(),
+	})
 	if err != nil {
 		return StepReport{}, err
+	}
+	rep.Phases = phaseSplit(timed, steps)
+	return rep, nil
+}
+
+// steadyEngine builds an engine for the workload's grid and sensor,
+// warms it up under the workload's demand and cuts arrivals, leaving
+// the quiesced configuration whose contract is zero allocations per
+// step.
+func steadyEngine(setup scenario.Setup, pattern scenario.Pattern, sensor sensing.Sensor, warmup int) (*sim.Engine, error) {
+	built, err := setup.Build(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if sensor != nil {
+		sensor.Reseed(setup.Seed)
 	}
 	engine, err := sim.New(sim.Config{
 		Net:         built.Grid.Network,
 		Controllers: setup.UtilBP(),
 		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
 		Router:      built.Router,
+		Routes:      built.Routes,
+		Sensor:      sensor,
 	})
+	if err != nil {
+		return nil, err
+	}
+	engine.Run(warmup + 20)
+	return engine, nil
+}
+
+// measureSteady times the quiesced loop on the paper grid. The window
+// must stay short (the -steady-steps default): once the queued traffic
+// drains to the terminals the loop steps an empty network, and a long
+// window would average that in and overstate throughput.
+func measureSteady(setup scenario.Setup, warmup, steps int) (StepReport, error) {
+	engine, err := steadyEngine(setup, scenario.PatternI, nil, warmup)
 	if err != nil {
 		return StepReport{}, err
 	}
-	engine.Run(warmup + 20)
-	return timeSteps(engine, steps), nil
+	rep := timeSteps(engine, steps)
+	timed, err := steadyEngine(setup, scenario.PatternI, nil, warmup)
+	if err != nil {
+		return StepReport{}, err
+	}
+	rep.Phases = phaseSplit(timed, steps)
+	return rep, nil
+}
+
+// sensingCases enumerates the sensing-overhead measurements: the paper
+// grid under every sensor family (nil = the sensor-free fast path,
+// "perfect-copy" = the explicit Perfect sensor exercising the separate
+// truth array), plus the 16×16 city grid sensor-free — the incremental
+// observation headline the PR 3 full-walk baseline is compared against
+// in PERF.md.
+func sensingCases() []struct {
+	workload string
+	label    string
+	spec     sensing.Spec
+	explicit bool // install the explicit sensor even for perfect specs
+} {
+	return []struct {
+		workload string
+		label    string
+		spec     sensing.Spec
+		explicit bool
+	}{
+		{"paper-grid", "perfect", sensing.Spec{}, false},
+		{"paper-grid", "perfect-copy", sensing.Spec{}, true},
+		{"paper-grid", "loop", sensing.Loop(), false},
+		{"paper-grid", "cv:0.3", sensing.CV(0.3), false},
+		{"city-grid", "perfect", sensing.Spec{}, false},
+	}
+}
+
+// measureSensing runs the steady-state measurement for one workload ×
+// sensor combination, under the same seed and warmup as the sibling
+// stepping measurements so the report's entries stay comparable.
+func measureSensing(workload, label string, spec sensing.Spec, explicit bool, seed uint64, warmup, steps int) (SensorStepReport, error) {
+	w, ok := scenario.WorkloadByName(workload)
+	if !ok {
+		return SensorStepReport{}, fmt.Errorf("workload %q not registered", workload)
+	}
+	setup := w.Setup
+	setup.Seed = seed
+	setup.Sensor = sensing.Spec{} // the sensor is installed explicitly below
+	mkSensor := func() (sensing.Sensor, error) {
+		if spec.Perfect() && !explicit {
+			return nil, nil
+		}
+		return spec.New()
+	}
+	sensor, err := mkSensor()
+	if err != nil {
+		return SensorStepReport{}, err
+	}
+	engine, err := steadyEngine(setup, w.Pattern, sensor, warmup)
+	if err != nil {
+		return SensorStepReport{}, err
+	}
+	rep := timeSteps(engine, steps)
+	sensor, err = mkSensor()
+	if err != nil {
+		return SensorStepReport{}, err
+	}
+	timed, err := steadyEngine(setup, w.Pattern, sensor, warmup)
+	if err != nil {
+		return SensorStepReport{}, err
+	}
+	rep.Phases = phaseSplit(timed, steps)
+	return SensorStepReport{Workload: workload, Sensor: label, StepReport: rep}, nil
 }
 
 // heapNow returns the live heap after a GC cycle.
@@ -327,6 +473,21 @@ func measureEngineHeap(w scenario.Workload) (HeapReport, error) {
 		EngineHeapBytes: (after - before) / k,
 		SharedArtifact:  artBytes,
 	}, nil
+}
+
+// phaseSplit advances an instrumented engine and attributes per-step
+// time to the mini-slot substeps.
+func phaseSplit(engine *sim.Engine, steps int) *PhaseSplit {
+	var pt sim.PhaseTimings
+	engine.RunTimed(steps, &pt)
+	per := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(steps) }
+	return &PhaseSplit{
+		SenseNs:    per(pt.Sense),
+		ControlNs:  per(pt.Control),
+		ServeNs:    per(pt.Serve),
+		TravelNs:   per(pt.Travel),
+		ArrivalsNs: per(pt.Arrivals),
+	}
 }
 
 // timeSteps advances the engine and reports wall time and allocation

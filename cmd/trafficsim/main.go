@@ -7,7 +7,9 @@
 //	trafficsim -pattern II -controller util
 //	trafficsim -pattern mixed -controller cap -period 20
 //	trafficsim -pattern I -controller orig -period 16 -duration 1800 -seed 7
+//	trafficsim -pattern II -controller util -sensor cv:0.3
 //	trafficsim -workload arterial-corridor -controller util
+//	trafficsim -workload estimated-grid -sensor loop
 //	trafficsim -list-workloads
 package main
 
@@ -20,6 +22,7 @@ import (
 	"utilbp/internal/config"
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
 	"utilbp/internal/stats"
 	"utilbp/internal/trace"
 )
@@ -42,13 +45,14 @@ func main() {
 		vehOut      = flag.String("vehicles-out", "", "write per-vehicle lifecycle CSV to this path")
 		workload    = flag.String("workload", "", "registered workload providing pattern and grid defaults; explicit -rows/-cols/-capacity still apply (see -list-workloads)")
 		listWk      = flag.Bool("list-workloads", false, "list the registered workloads and exit")
+		sensorFlag  = flag.String("sensor", "", "observation sensor: perfect | loop | cv:<rate> (default: the workload's sensor, else perfect)")
 	)
 	flag.Parse()
 
 	if *listWk {
 		for _, w := range scenario.Workloads() {
-			fmt.Printf("%-18s %d×%d grid, pattern %-5v — %s\n",
-				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Description)
+			fmt.Printf("%-18s %d×%d grid, pattern %-5v sensor %-8s — %s\n",
+				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Setup.Sensor, w.Description)
 		}
 		return
 	}
@@ -110,6 +114,13 @@ func main() {
 	setup.AmberSec = *amber
 	if *mu > 0 {
 		setup.Grid.Mu = *mu
+	}
+	if *sensorFlag != "" {
+		spec, err := sensing.ParseSpec(*sensorFlag)
+		if err != nil {
+			fatal(err)
+		}
+		setup.Sensor = spec
 	}
 
 	factory, err := cli.PickFactory(setup, *controller, *period)

@@ -3,9 +3,11 @@
 //
 //  1. every package under internal/ carries a package-level doc comment;
 //  2. in the strict packages (internal/sim, internal/experiment,
-//     internal/scenario — the public surface of the simulator and
-//     harness), every exported top-level symbol, including methods on
-//     exported types, carries a doc comment.
+//     internal/scenario, internal/sensing, internal/signal,
+//     internal/rng — the public surface of the simulator, the sensing
+//     layer and its contracts, and the harness), every exported
+//     top-level symbol, including methods on exported types, carries a
+//     doc comment.
 //
 // It exits non-zero listing every violation; CI runs it on each push
 // (.github/workflows/ci.yml). Usage:
@@ -30,6 +32,9 @@ var strictPkgs = map[string]bool{
 	"internal/sim":        true,
 	"internal/experiment": true,
 	"internal/scenario":   true,
+	"internal/sensing":    true,
+	"internal/signal":     true,
+	"internal/rng":        true,
 }
 
 func main() {

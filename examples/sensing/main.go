@@ -1,0 +1,69 @@
+// Sensing demonstrates the CPS sensing layer: how UTIL-BP degrades as
+// the controller's view of the queues moves from perfect observation to
+// loop-detector counts and sparse connected-vehicle sampling. It runs
+// the connected-vehicle penetration-rate sweep of EXPERIMENTS.md on the
+// paper grid and renders the degradation curve as an ASCII bar chart.
+//
+//	go run ./examples/sensing
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"utilbp/internal/experiment"
+	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
+)
+
+const horizon = 900 // seconds per run; short but past the warm-up transient
+
+func main() {
+	setup := scenario.Default()
+	seeds := []uint64{1, 2, 3}
+
+	// Perfect vs loop vs connected-vehicle at a glance.
+	specs := []sensing.Spec{
+		{},
+		sensing.Loop(),
+		{Kind: sensing.KindLoop, Saturation: 30, FailProb: 0.05},
+		sensing.CV(0.3),
+		{Kind: sensing.KindConnectedVehicle, Rate: 0.3, NoiseStd: 2, LatencySteps: 5},
+	}
+	rows, err := experiment.SensingSweep(setup, scenario.PatternII, specs, seeds, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("UTIL-BP under imperfect sensing, paper grid, Pattern II")
+	fmt.Print(experiment.FormatSensingStats(rows, seeds))
+
+	// The penetration-rate curve: how much connectivity does adaptive
+	// back pressure need before estimation error stops hurting?
+	rates := []float64{0.1, 0.2, 0.3, 0.5, 0.7, 1.0}
+	curve, err := experiment.PenetrationSweep(setup, scenario.PatternII, rates, seeds, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Connected-vehicle penetration sweep (degradation vs perfect):")
+	worst := 1.0
+	for _, row := range curve {
+		if row.DegradationPct > worst {
+			worst = row.DegradationPct
+		}
+	}
+	for _, row := range curve {
+		bar := int(40 * row.DegradationPct / worst)
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Printf("  %-8s %6.1f s  %+6.1f%% |%s\n",
+			row.Spec, row.Mean, row.DegradationPct, strings.Repeat("#", bar))
+	}
+	fmt.Println("\nPartial penetration starves the pressure signal: the scaled-up")
+	fmt.Println("Binomial sample stays noisy at any rate below 1, so UTIL-BP pays a")
+	fmt.Println("roughly constant penalty until full penetration restores parity —")
+	fmt.Println("the regime where queue estimation (filtering, count integration)")
+	fmt.Println("earns its keep (cf. arXiv:2006.15549).")
+}

@@ -5,6 +5,7 @@ import (
 
 	"utilbp/internal/network"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
 	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 )
@@ -75,19 +76,49 @@ func NewSharedEngineCache(artifacts *scenario.ArtifactCache) *EngineCache {
 // cached engine, building scenario state and engine only on first use.
 // The run seed rewinds demand and routing exactly as a fresh
 // base.Build(pattern) with that seed would, so results are bit-for-bit
-// identical to experiment.Run for the same spec.
+// identical to experiment.Run for the same spec. The cell's observation
+// sensor is the instance's, derived from the base setup's Setup.Sensor
+// spec (nil for perfect).
 func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, seed uint64, durationSec float64) (Result, error) {
+	inst, err := c.instance(pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.run(inst, pattern, family, factory, inst.Sensor, seed, durationSec)
+}
+
+// RunSensor is Run with an explicit per-cell observation sensor
+// overriding the instance's spec-derived one — the sensor-sweep
+// primitive: one cached engine serves every (sensor × seed) cell, the
+// sensor swapped in through sim.ResetOptions. A nil sensor runs the
+// cell with perfect observation (any previously installed sensor is
+// cleared, so cells cannot leak sensors into each other).
+func (c *EngineCache) RunSensor(pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, sensor sensing.Sensor, seed uint64, durationSec float64) (Result, error) {
+	inst, err := c.instance(pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.run(inst, pattern, family, factory, sensor, seed, durationSec)
+}
+
+// instance returns the per-worker mutable scenario instance for a
+// pattern, building it from the shared artifact on first use.
+func (c *EngineCache) instance(pattern scenario.Pattern) (*scenario.Instance, error) {
+	if inst, ok := c.instances[pattern]; ok {
+		return inst, nil
+	}
+	art, err := c.artifacts.Get(pattern)
+	if err != nil {
+		return nil, err
+	}
+	inst := art.Instantiate()
+	c.instances[pattern] = inst
+	return inst, nil
+}
+
+func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, sensor sensing.Sensor, seed uint64, durationSec float64) (Result, error) {
 	if factory == nil {
 		return Result{}, fmt.Errorf("experiment: EngineCache.Run requires a factory")
-	}
-	inst, ok := c.instances[pattern]
-	if !ok {
-		art, err := c.artifacts.Get(pattern)
-		if err != nil {
-			return Result{}, err
-		}
-		inst = art.Instantiate()
-		c.instances[pattern] = inst
 	}
 	duration := inst.Duration
 	if durationSec > 0 {
@@ -102,6 +133,7 @@ func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, fac
 			Demand:           inst.Demand,
 			Router:           inst.Router,
 			Routes:           inst.Routes,
+			Sensor:           sensor,
 			ExpectedVehicles: inst.ExpectedVehicles(duration),
 		})
 		if err != nil {
@@ -113,12 +145,16 @@ func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, fac
 	// ResetWith swaps the cell's collaborators in even when the engine
 	// was built for another pattern of the same grid: road IDs are dense
 	// and the builder is deterministic, so structurally identical grids
-	// agree on every ID the demand, router and route table use.
+	// agree on every ID the demand, router and route table use. The
+	// sensor is swapped (or cleared) the same way, so one engine serves
+	// cells with different observation models.
 	if err := engine.ResetWith(seed, sim.ResetOptions{
 		Controllers: factory,
 		Demand:      inst.Demand,
 		Router:      inst.Router,
 		Routes:      inst.Routes,
+		Sensor:      sensor,
+		ClearSensor: sensor == nil,
 	}); err != nil {
 		return Result{}, err
 	}

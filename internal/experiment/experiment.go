@@ -63,6 +63,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Instance, float64, error) {
 		Demand:           built.Demand,
 		Router:           built.Router,
 		Routes:           built.Routes,
+		Sensor:           built.Sensor,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
 		ExpectedVehicles: built.ExpectedVehicles(duration),

@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"utilbp/internal/analysis"
+	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
+)
+
+// SensingStats aggregates the UTIL-BP runs of one sensor spec across
+// the sweep's seeds: how much control performance degrades when the
+// controller sees estimated queues instead of exact ones (the paper's
+// CPS fidelity axis; cf. arXiv:2006.15549).
+type SensingStats struct {
+	// Spec is the sensor configuration of this row.
+	Spec sensing.Spec
+	// MeanWaits are the per-seed network-mean queuing times, in the
+	// sweep's seed order.
+	MeanWaits []float64
+	// Mean and Std summarize MeanWaits.
+	Mean, Std float64
+	// DegradationPct is the mean per-seed wait increase relative to the
+	// sweep's perfect-sensor reference, in percent; zero when the sweep
+	// carries no perfect spec.
+	DegradationPct float64
+}
+
+// sensingPlan enumerates the independent cells of a sensor sweep: one
+// UTIL-BP run per (sensor spec × seed), identified by a flat index so
+// pooled workers write into pre-sized slots and aggregation stays in
+// plan order regardless of completion order — the same scheme as the
+// Table III sweepPlan.
+type sensingPlan struct {
+	pattern scenario.Pattern
+	specs   []sensing.Spec
+	seeds   []uint64
+}
+
+func (p *sensingPlan) cells() int { return len(p.specs) * len(p.seeds) }
+
+func (p *sensingPlan) cell(idx int) (si, ki int) {
+	return idx / len(p.seeds), idx % len(p.seeds)
+}
+
+// runCell executes one (spec, seed) cell and returns its network-mean
+// queuing time. With a cache the cell runs on a reused engine through
+// EngineCache.RunSensor; with cache == nil it builds a fresh scenario
+// (Setup.Sensor carries the spec) and engine per cell — the serial
+// reference path the pooled scheduler is pinned against.
+func (p *sensingPlan) runCell(cache *EngineCache, base scenario.Setup, idx int, durationSec float64) (float64, error) {
+	si, ki := p.cell(idx)
+	spec, seed := p.specs[si], p.seeds[ki]
+	setup := base
+	setup.Seed = seed
+	setup.Sensor = spec
+	factory := setup.UtilBP()
+	var (
+		res Result
+		err error
+	)
+	if cache != nil {
+		var sensor sensing.Sensor
+		if !spec.Perfect() {
+			sensor, err = spec.New()
+			if err == nil {
+				sensor.Reseed(seed)
+			}
+		}
+		if err == nil {
+			res, err = cache.RunSensor(p.pattern, FamilyUtilBP, factory, sensor, seed, durationSec)
+		}
+	} else {
+		res, err = Run(Spec{Setup: setup, Pattern: p.pattern, Factory: factory, DurationSec: durationSec})
+	}
+	if err != nil {
+		return 0, fmt.Errorf("experiment: pattern %v sensor %v seed %d: %w", p.pattern, spec, seed, err)
+	}
+	return res.Summary.MeanWait, nil
+}
+
+// aggregate folds the per-cell mean waits into SensingStats rows in
+// spec order, with degradations computed per seed against the first
+// perfect spec of the sweep.
+func (p *sensingPlan) aggregate(waits []float64) []SensingStats {
+	perfect := -1
+	for si, spec := range p.specs {
+		if spec.Perfect() {
+			perfect = si
+			break
+		}
+	}
+	out := make([]SensingStats, 0, len(p.specs))
+	for si, spec := range p.specs {
+		row := SensingStats{Spec: spec, MeanWaits: make([]float64, len(p.seeds))}
+		deg := 0.0
+		for ki := range p.seeds {
+			w := waits[si*len(p.seeds)+ki]
+			row.MeanWaits[ki] = w
+			if perfect >= 0 {
+				if ref := waits[perfect*len(p.seeds)+ki]; ref > 0 {
+					deg += 100 * (w - ref) / ref
+				}
+			}
+		}
+		row.Mean = analysis.Mean(row.MeanWaits)
+		row.Std = analysis.Std(row.MeanWaits)
+		if perfect >= 0 {
+			row.DegradationPct = deg / float64(len(p.seeds))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func newSensingPlan(pattern scenario.Pattern, specs []sensing.Spec, seeds []uint64) (*sensingPlan, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("experiment: at least one sensor spec required")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: at least one seed required")
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &sensingPlan{pattern: pattern, specs: specs, seeds: seeds}, nil
+}
+
+// SensingSweep runs UTIL-BP under every sensor spec across the seeds —
+// the Table-III-style sweep along the observation axis. Cells are
+// scheduled onto a GOMAXPROCS worker pool; all workers share one
+// concurrency-safe scenario.ArtifactCache and each owns an EngineCache,
+// so one engine per worker serves every (sensor × seed) cell via
+// ResetWith sensor swaps. Results are bit-for-bit identical to
+// SensingSweepSerial for the same inputs
+// (TestSensingSweepPooledMatchesSerial).
+func SensingSweep(base scenario.Setup, pattern scenario.Pattern, specs []sensing.Spec, seeds []uint64, durationSec float64) ([]SensingStats, error) {
+	plan, err := newSensingPlan(pattern, specs, seeds)
+	if err != nil {
+		return nil, err
+	}
+	n := plan.cells()
+	waits := make([]float64, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	artifacts := scenario.NewArtifactCache(base)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := NewSharedEngineCache(artifacts)
+			for idx := range jobs {
+				waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
+				if errs[idx] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for idx := 0; idx < n && !failed.Load(); idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan.aggregate(waits), nil
+}
+
+// SensingSweepSerial is the strictly sequential fresh-engine reference
+// implementation of SensingSweep: cells in plan order, a new scenario
+// and engine per cell, no reuse anywhere. The pooled scheduler is
+// pinned bit-for-bit against it; keep the two in lockstep when changing
+// either.
+func SensingSweepSerial(base scenario.Setup, pattern scenario.Pattern, specs []sensing.Spec, seeds []uint64, durationSec float64) ([]SensingStats, error) {
+	plan, err := newSensingPlan(pattern, specs, seeds)
+	if err != nil {
+		return nil, err
+	}
+	waits := make([]float64, plan.cells())
+	for idx := range waits {
+		w, err := plan.runCell(nil, base, idx, durationSec)
+		if err != nil {
+			return nil, err
+		}
+		waits[idx] = w
+	}
+	return plan.aggregate(waits), nil
+}
+
+// PenetrationSpecs returns the canonical penetration-rate axis: the
+// perfect reference followed by ConnectedVehicle specs at the given
+// rates.
+func PenetrationSpecs(rates []float64) []sensing.Spec {
+	specs := make([]sensing.Spec, 0, len(rates)+1)
+	specs = append(specs, sensing.Spec{})
+	for _, r := range rates {
+		specs = append(specs, sensing.CV(r))
+	}
+	return specs
+}
+
+// DefaultPenetrationRates returns the 0.1..1.0 connected-vehicle
+// penetration axis of the sensing experiment.
+func DefaultPenetrationRates() []float64 {
+	var out []float64
+	for r := 1; r <= 10; r++ {
+		out = append(out, float64(r)/10)
+	}
+	return out
+}
+
+// PenetrationSweep runs the connected-vehicle penetration-rate sweep
+// (perfect reference plus cv:<rate> for each rate) on the given
+// pattern through the pooled scheduler.
+func PenetrationSweep(base scenario.Setup, pattern scenario.Pattern, rates []float64, seeds []uint64, durationSec float64) ([]SensingStats, error) {
+	if len(rates) == 0 {
+		rates = DefaultPenetrationRates()
+	}
+	return SensingSweep(base, pattern, PenetrationSpecs(rates), seeds, durationSec)
+}
+
+// FormatSensingStats renders the sensing sweep table.
+func FormatSensingStats(rows []SensingStats, seeds []uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UTIL-BP mean queuing time by observation sensor, %d seeds\n", len(seeds))
+	fmt.Fprintf(&b, "%-24s %-20s %s\n", "Sensor", "wait mean ± std (s)", "vs perfect")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-20s %+.1f%%\n",
+			r.Spec.String(),
+			fmt.Sprintf("%.1f ± %.1f", r.Mean, r.Std),
+			r.DegradationPct)
+	}
+	return b.String()
+}

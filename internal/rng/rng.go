@@ -155,6 +155,33 @@ func (r *Source) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// Binomial returns a Binomial(n, p)-distributed count: the number of
+// successes in n independent trials of probability p. The sensing layer
+// uses it for per-vehicle penetration-rate sampling (each queued vehicle
+// is a connected vehicle with probability p). Degenerate parameters are
+// draw-free — p <= 0 returns 0 and p >= 1 returns n without consuming
+// any random bits — so a perfect-penetration sensor stays a pure
+// function of the observed state.
+func (r *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Direct Bernoulli summation: n is a queue length (bounded by road
+	// capacity), so the exact O(n) method beats the setup cost of the
+	// usual inversion/BTPE samplers and keeps the draw count a simple
+	// deterministic function of n.
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
 // Exp returns an exponentially distributed value with the given mean.
 // A non-positive mean yields 0.
 func (r *Source) Exp(mean float64) float64 {

@@ -299,3 +299,50 @@ func TestMul128(t *testing.T) {
 		}
 	}
 }
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(41)
+	const (
+		n      = 40
+		p      = 0.3
+		trials = 50000
+	)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		k := r.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%d,%v) = %d out of range", n, p, k)
+		}
+		v := float64(k)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean-n*p) > 0.15 {
+		t.Errorf("binomial mean %.3f, want %.1f", mean, float64(n)*p)
+	}
+	if math.Abs(variance-n*p*(1-p)) > 0.5 {
+		t.Errorf("binomial variance %.3f, want %.1f", variance, n*p*(1-p))
+	}
+}
+
+func TestBinomialDegenerateDrawFree(t *testing.T) {
+	r := New(43)
+	before := *r
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d, want 0", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d, want 10", got)
+	}
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, 0.5) = %d, want 0", got)
+	}
+	if got := r.Binomial(-3, 0.5); got != 0 {
+		t.Errorf("Binomial(-3, 0.5) = %d, want 0", got)
+	}
+	if *r != before {
+		t.Error("degenerate Binomial parameters consumed random bits")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"utilbp/internal/network"
 	"utilbp/internal/rng"
+	"utilbp/internal/sensing"
 	"utilbp/internal/sim"
 	"utilbp/internal/vehicle"
 )
@@ -48,12 +49,20 @@ type Instance struct {
 	Demand sim.ArrivalProcess
 	// Router assigns interned routes to spawned vehicles.
 	Router sim.RouteChooser
+	// Sensor is the per-run observation sensor built from
+	// Setup.Sensor, seeded for the run; nil for the perfect spec (the
+	// engine's sensor-free fast path). Like Demand and Router it is
+	// mutable per-run state: one engine at a time.
+	Sensor sensing.Sensor
 }
 
 // BuildArtifact builds the immutable scenario artifact for a pattern:
 // everything shareable across engines, with no RNG state.
 func (s Setup) BuildArtifact(pattern Pattern) (*Artifact, error) {
 	s = s.withDefaults()
+	if err := s.Sensor.Validate(); err != nil {
+		return nil, err
+	}
 	g, err := network.Grid(s.Grid)
 	if err != nil {
 		return nil, err
@@ -90,10 +99,17 @@ func (a *Artifact) Instantiate() *Instance {
 	demand.SetDerivation(func(seed uint64) *rng.Source {
 		return rng.New(seed).Split("demand")
 	})
+	var sensor sensing.Sensor
+	if !a.Setup.Sensor.Perfect() {
+		// The spec was validated at BuildArtifact; New cannot fail here.
+		sensor, _ = a.Setup.Sensor.New()
+		sensor.Reseed(a.Setup.Seed)
+	}
 	return &Instance{
 		Artifact: a,
 		Demand:   demand,
 		Router:   a.NewRouter(root.Split("routes")),
+		Sensor:   sensor,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"utilbp/internal/network"
+	"utilbp/internal/sensing"
 	"utilbp/internal/sim"
 	"utilbp/internal/vehicle"
 )
@@ -237,5 +238,57 @@ func TestSharedArtifactEnginesDeterminism(t *testing.T) {
 	}
 	if art.Routes.Len() != tableLen {
 		t.Fatalf("concurrent runs mutated the shared route table (%d -> %d)", tableLen, art.Routes.Len())
+	}
+}
+
+// TestArtifactSensorInstantiation: the Setup.Sensor spec flows through
+// the artifact into per-instance sensors — nil for perfect (the
+// engine's sensor-free fast path), fresh per instance otherwise, and
+// invalid specs are rejected at build time.
+func TestArtifactSensorInstantiation(t *testing.T) {
+	perfect, err := Default().BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst := perfect.Instantiate(); inst.Sensor != nil {
+		t.Fatalf("perfect spec built a sensor: %v", inst.Sensor.Name())
+	}
+
+	setup := Default()
+	setup.Sensor = sensing.CV(0.4)
+	art, err := setup.BuildArtifact(PatternI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := art.Instantiate(), art.Instantiate()
+	if a.Sensor == nil || b.Sensor == nil {
+		t.Fatal("cv spec built no sensor")
+	}
+	if a.Sensor == b.Sensor {
+		t.Fatal("instances share a mutable sensor")
+	}
+	if a.Sensor.Name() != "cv:0.4" {
+		t.Fatalf("sensor name = %q", a.Sensor.Name())
+	}
+
+	bad := Default()
+	bad.Sensor = sensing.CV(3)
+	if _, err := bad.BuildArtifact(PatternI); err == nil {
+		t.Fatal("invalid sensor spec accepted at build time")
+	}
+}
+
+// TestEstimatedGridWorkloadRegistered: the registry exposes the sensing
+// workload and its spec survives the registry round trip.
+func TestEstimatedGridWorkloadRegistered(t *testing.T) {
+	w, ok := WorkloadByName("estimated-grid")
+	if !ok {
+		t.Fatal("estimated-grid workload not registered")
+	}
+	if w.Setup.Sensor != sensing.CV(0.3) {
+		t.Fatalf("estimated-grid sensor = %+v, want cv:0.3", w.Setup.Sensor)
+	}
+	if w.Pattern != PatternII {
+		t.Fatalf("estimated-grid pattern = %v", w.Pattern)
 	}
 }

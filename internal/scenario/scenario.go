@@ -18,6 +18,7 @@ import (
 	"utilbp/internal/core"
 	"utilbp/internal/fixedtime"
 	"utilbp/internal/network"
+	"utilbp/internal/sensing"
 	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 )
@@ -175,6 +176,14 @@ type Setup struct {
 	// Table II demand). The stability prober sweeps it to estimate a
 	// controller's capacity margin.
 	DemandScale float64
+	// Sensor selects the observation model controllers see — the cyber
+	// half of the paper's CPS split (internal/sensing, DESIGN.md §10).
+	// The zero value is perfect observation: engines run sensor-free
+	// and reproduce the historical behavior bit-for-bit. Non-perfect
+	// specs (loop detection, connected-vehicle sampling) are
+	// instantiated per run with a dedicated "sensing" RNG stream
+	// derived from Seed, independent of the demand and route streams.
+	Sensor sensing.Spec
 }
 
 // Default returns the paper's Section V setup. The physical saturation

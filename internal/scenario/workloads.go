@@ -3,12 +3,15 @@ package scenario
 import (
 	"fmt"
 	"sort"
+
+	"utilbp/internal/sensing"
 )
 
 // Workload is a named, registered simulation workload: a Setup (grid
-// geometry and evaluation constants) paired with a demand pattern. The
-// registry lets the experiment harness, CLI tools and perf trajectory
-// exercise networks and demand shapes beyond the paper's 3×3 grid by
+// geometry, evaluation constants and the observation sensor spec,
+// Setup.Sensor) paired with a demand pattern. The registry lets the
+// experiment harness, CLI tools and perf trajectory exercise networks,
+// demand shapes and sensing models beyond the paper's 3×3 grid by
 // name; the registered set is documented in DESIGN.md §4.
 type Workload struct {
 	// Name is the registry key (kebab-case).
@@ -132,5 +135,13 @@ func init() {
 		Setup:           gridSetup(8, 8),
 		Pattern:         PatternIV,
 		SweepHorizonSec: 450,
+	})
+	estimated := Default()
+	estimated.Sensor = sensing.CV(0.3)
+	MustRegisterWorkload(Workload{
+		Name:        "estimated-grid",
+		Description: "3×3 grid under uniform demand observed through 30% connected-vehicle penetration — the estimation-error stress (DESIGN.md §10)",
+		Setup:       estimated,
+		Pattern:     PatternII,
 	})
 }

@@ -1,0 +1,348 @@
+// Package sensing models the cyber half of the paper's CPS split: the
+// detection hardware sitting between the physical queues and the signal
+// controllers. The simulation engine maintains exact per-link state (the
+// plant); a Sensor maps that ground truth onto the signal.Obs queue
+// values a controller actually sees — bit-for-bit for Perfect, through a
+// stop-bar count model for LoopDetector, or through per-vehicle
+// penetration sampling for ConnectedVehicle. Estimators (exponential
+// filter, count integration) turn the raw readings into queue estimates,
+// following the estimated-queue back-pressure literature
+// (arXiv:2006.15549, arXiv:1401.3357).
+//
+// Sensors are engine-local and event-driven: the engine marks a link
+// dirty whenever the underlying road state changes (spawn, serve,
+// stop-line arrival) and calls SenseLink only for dirty links, so a
+// link whose queues did not move keeps its previous reading — exactly
+// how count-based roadside detection behaves, and what keeps the
+// perfect-observation path cheaper than the old full walk (DESIGN.md
+// §10). All sensing randomness draws from a dedicated "sensing" stream
+// derived from the run seed (rng.New(seed).Split("sensing")), so
+// installing or tuning a sensor never perturbs the demand or routing
+// streams, and Engine.Reset replays runs bit-for-bit.
+package sensing
+
+import (
+	"utilbp/internal/rng"
+	"utilbp/internal/signal"
+)
+
+// Sensor maps the ground-truth state of a junction link onto the
+// observation its controller sees. Implementations are stateful (they
+// hold per-link estimates and their RNG stream) and are NOT safe for
+// concurrent use: one sensor serves one running engine at a time.
+//
+// The engine calls SenseLink only for links whose underlying road state
+// changed during the previous mini-slot; readings for unchanged links
+// persist in the observation. Sensors write only the dynamic queue
+// fields of obs (Queue, InTransit, ApproachQueue, OutQueue,
+// OutOccupancy) — the static fields (capacities, µ) are engine-owned.
+type Sensor interface {
+	// Name identifies the sensor model (e.g. "cv:0.3").
+	Name() string
+	// Prepare sizes the per-link state for an engine whose junctions
+	// expose nlinks links in total (the engine's dense global link
+	// index space). The engine calls it at construction and whenever
+	// the sensor is installed on a reused engine; it must be callable
+	// repeatedly and must not discard state mid-run.
+	Prepare(nlinks int)
+	// SenseLink observes one link: truth is the exact state maintained
+	// by the engine, obs is the entry the controller will read. link is
+	// the engine's dense global link index, step the mini-slot index.
+	SenseLink(link int, truth, obs *signal.LinkObs, step int)
+	// Reseed rewinds the sensor to the fresh deterministic state of a
+	// run with the given seed: per-link estimates cleared and the RNG
+	// rewound to rng.New(seed).Split("sensing"). Engine.Reset forwards
+	// its seed here, so replays are bit-for-bit.
+	Reseed(seed uint64)
+}
+
+// sensingStream derives the dedicated sensing RNG stream for a run
+// seed. It is split from the same root as the scenario layer's demand
+// and router streams but under its own label, so the three never
+// interleave: adding a sensor cannot change the arrivals or routes a
+// seed produces.
+func sensingStream(seed uint64) *rng.Source {
+	return rng.New(seed).Split("sensing")
+}
+
+// Perfect is the identity sensor: controllers see the exact queue
+// state, reproducing the engine's historical behavior bit-for-bit. It
+// exists so sensor sweeps have an explicit zero-error reference; an
+// engine configured with no sensor at all takes an even shorter path
+// (the observation aliases the truth storage) with identical results.
+type Perfect struct{}
+
+// Name implements Sensor.
+func (Perfect) Name() string { return "perfect" }
+
+// Prepare implements Sensor; the perfect sensor keeps no state.
+func (Perfect) Prepare(int) {}
+
+// SenseLink implements Sensor by copying the truth verbatim.
+func (Perfect) SenseLink(_ int, truth, obs *signal.LinkObs, _ int) { *obs = *truth }
+
+// Reseed implements Sensor; the perfect sensor draws no randomness.
+func (Perfect) Reseed(uint64) {}
+
+// The dynamic queue-state fields a sensor estimates, as indexes into
+// the per-link estimate vectors. InTransit is special-cased by the
+// stop-bar detector (it cannot see rolling vehicles).
+const (
+	fQueue = iota
+	fInTransit
+	fApproach
+	fOutQueue
+	fOutOcc
+	numFields
+)
+
+// truthFields gathers the dynamic fields of a link observation into a
+// vector so sensors can apply one model uniformly per field.
+func truthFields(o *signal.LinkObs) [numFields]int {
+	return [numFields]int{o.Queue, o.InTransit, o.ApproachQueue, o.OutQueue, o.OutOccupancy}
+}
+
+// writeFields stores rounded, non-negative estimates into the dynamic
+// fields of a link observation.
+func writeFields(o *signal.LinkObs, est *[numFields]float64) {
+	o.Queue = roundCount(est[fQueue])
+	o.InTransit = roundCount(est[fInTransit])
+	o.ApproachQueue = roundCount(est[fApproach])
+	o.OutQueue = roundCount(est[fOutQueue])
+	o.OutOccupancy = roundCount(est[fOutOcc])
+}
+
+// roundCount rounds an estimate to a vehicle count, clamped at zero.
+func roundCount(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// LoopDetectorOptions configures the stop-bar detector model.
+type LoopDetectorOptions struct {
+	// Saturation is the largest count the detector zone can register
+	// per field; queues beyond it saturate the reading. Zero applies
+	// DefaultSaturation; negative disables saturation.
+	Saturation int
+	// FailProb is the probability that one sensing event is missed
+	// entirely (a detection failure): the crossing counts of that event
+	// are lost and the estimate drifts until the next positive
+	// empty-queue detection resynchronizes it.
+	FailProb float64
+	// Estimator folds the per-event readings into the reported
+	// estimate. Nil defaults to CountIntegrator bounded by Saturation.
+	Estimator Estimator
+}
+
+// DefaultSaturation is the default detector-zone capacity: half the
+// paper grid's road capacity W = 120, a zone covering roughly half the
+// approach.
+const DefaultSaturation = 60
+
+// LoopDetector models stop-bar loop detection: it observes the flow
+// across the detector (the count delta between sensing events), feeds
+// it through its estimator, saturates at the detector-zone capacity and
+// occasionally misses an event entirely. Vehicles still rolling toward
+// the stop line are invisible to it, so InTransit reads zero.
+// Construct with NewLoopDetector.
+type LoopDetector struct {
+	opts  LoopDetectorOptions
+	est   Estimator
+	src   *rng.Source
+	links []loopLink
+	n     int
+}
+
+// loopLink is the per-link detector state: the running estimates and
+// the last truth snapshot the next event's deltas are counted from.
+type loopLink struct {
+	est  [numFields]float64
+	last [numFields]int32
+}
+
+// NewLoopDetector builds a stop-bar detector. It starts seeded for run
+// seed 0; the engine (or scenario layer) reseeds it for the actual run.
+func NewLoopDetector(opts LoopDetectorOptions) *LoopDetector {
+	if opts.Saturation == 0 {
+		opts.Saturation = DefaultSaturation
+	}
+	est := opts.Estimator
+	if est == nil {
+		max := 0.0
+		if opts.Saturation > 0 {
+			max = float64(opts.Saturation)
+		}
+		est = CountIntegrator{Max: max}
+	}
+	return &LoopDetector{opts: opts, est: est, src: sensingStream(0)}
+}
+
+// Name implements Sensor.
+func (ld *LoopDetector) Name() string { return "loop" }
+
+// Prepare implements Sensor.
+func (ld *LoopDetector) Prepare(nlinks int) {
+	if nlinks > len(ld.links) {
+		grown := make([]loopLink, nlinks)
+		copy(grown, ld.links)
+		ld.links = grown
+	}
+	ld.n = nlinks
+}
+
+// Reseed implements Sensor.
+func (ld *LoopDetector) Reseed(seed uint64) {
+	ld.src = sensingStream(seed)
+	clearLinks := ld.links[:ld.n]
+	for i := range clearLinks {
+		clearLinks[i] = loopLink{}
+	}
+}
+
+// SenseLink implements Sensor. Each sensing event observes the per-field
+// count deltas since the previous event; a failed event loses them (the
+// estimate drifts) but an observed empty queue resynchronizes to zero.
+func (ld *LoopDetector) SenseLink(link int, truth, obs *signal.LinkObs, _ int) {
+	st := &ld.links[link]
+	failed := ld.src.Bool(ld.opts.FailProb)
+	tf := truthFields(truth)
+	for f := range tf {
+		delta := tf[f] - int(st.last[f])
+		st.last[f] = int32(tf[f])
+		if failed || f == fInTransit {
+			continue
+		}
+		level := tf[f]
+		if ld.opts.Saturation > 0 && level > ld.opts.Saturation {
+			level = ld.opts.Saturation
+		}
+		st.est[f] = ld.est.Update(st.est[f], Sample{
+			Level: float64(level),
+			Delta: float64(delta),
+			Empty: tf[f] == 0,
+		})
+	}
+	writeFields(obs, &st.est)
+	obs.InTransit = 0 // rolling vehicles never reach the stop-bar loop
+}
+
+// ConnectedVehicleOptions configures the connected-vehicle model.
+type ConnectedVehicleOptions struct {
+	// Rate is the penetration rate p in (0, 1]: each queued vehicle
+	// reports with probability p, and the count estimate is the scaled
+	// Binomial sample k/p.
+	Rate float64
+	// NoiseStd is the standard deviation of additive Gaussian noise on
+	// the scaled estimate, in vehicles. Zero disables it.
+	NoiseStd float64
+	// LatencySteps is the report latency: the minimum number of
+	// mini-slots between accepted queue reports for one link. Between
+	// reports the observation holds its last value. Zero reports on
+	// every sensing event.
+	LatencySteps int
+	// Estimator folds the per-report levels into the reported estimate.
+	// Nil defaults to ExpFilter{Alpha: DefaultCVAlpha}.
+	Estimator Estimator
+}
+
+// DefaultCVAlpha is the default exponential-filter gain for the
+// connected-vehicle sensor: half the weight on the newest report.
+const DefaultCVAlpha = 0.5
+
+// ConnectedVehicle models probe-vehicle sensing: each queued vehicle is
+// a connected vehicle with probability Rate, the scaled sample count
+// estimates the queue, additive noise models positioning error, and
+// reports are rate-limited by LatencySteps. Construct with
+// NewConnectedVehicle.
+type ConnectedVehicle struct {
+	opts  ConnectedVehicleOptions
+	est   Estimator
+	src   *rng.Source
+	links []cvLink
+	n     int
+}
+
+// cvLink is the per-link probe state: running estimates and the step of
+// the last accepted report (-1 before the first).
+type cvLink struct {
+	est        [numFields]float64
+	lastReport int32
+}
+
+// NewConnectedVehicle builds a probe-vehicle sensor. It starts seeded
+// for run seed 0; the engine (or scenario layer) reseeds it for the
+// actual run. A Rate outside (0, 1] is rejected by Spec.Validate; the
+// constructor clamps it defensively.
+func NewConnectedVehicle(opts ConnectedVehicleOptions) *ConnectedVehicle {
+	if opts.Rate <= 0 || opts.Rate > 1 {
+		opts.Rate = 1
+	}
+	est := opts.Estimator
+	if est == nil {
+		est = ExpFilter{Alpha: DefaultCVAlpha}
+	}
+	return &ConnectedVehicle{opts: opts, est: est, src: sensingStream(0)}
+}
+
+// Name implements Sensor.
+func (cv *ConnectedVehicle) Name() string {
+	return Spec{Kind: KindConnectedVehicle, Rate: cv.opts.Rate}.String()
+}
+
+// Prepare implements Sensor.
+func (cv *ConnectedVehicle) Prepare(nlinks int) {
+	if nlinks > len(cv.links) {
+		grown := make([]cvLink, nlinks)
+		n := copy(grown, cv.links)
+		for i := n; i < len(grown); i++ {
+			grown[i].lastReport = -1
+		}
+		cv.links = grown
+	}
+	cv.n = nlinks
+}
+
+// Reseed implements Sensor.
+func (cv *ConnectedVehicle) Reseed(seed uint64) {
+	cv.src = sensingStream(seed)
+	clearLinks := cv.links[:cv.n]
+	for i := range clearLinks {
+		clearLinks[i] = cvLink{lastReport: -1}
+	}
+}
+
+// SenseLink implements Sensor: per field, a Binomial(truth, Rate)
+// sample scaled by 1/Rate plus optional Gaussian noise, folded through
+// the estimator, subject to the per-link report latency.
+func (cv *ConnectedVehicle) SenseLink(link int, truth, obs *signal.LinkObs, step int) {
+	st := &cv.links[link]
+	if cv.opts.LatencySteps > 0 && st.lastReport >= 0 && step-int(st.lastReport) < cv.opts.LatencySteps {
+		return // reports are rate-limited; the observation holds
+	}
+	st.lastReport = int32(step)
+	tf := truthFields(truth)
+	for f := range tf {
+		seen := cv.src.Binomial(tf[f], cv.opts.Rate)
+		level := float64(seen) / cv.opts.Rate
+		if cv.opts.NoiseStd > 0 {
+			level += cv.src.Norm() * cv.opts.NoiseStd
+		}
+		if level < 0 {
+			level = 0
+		}
+		st.est[f] = cv.est.Update(st.est[f], Sample{
+			Level: level,
+			Delta: level - st.est[f],
+			Empty: tf[f] == 0 && seen == 0 && cv.opts.Rate >= 1,
+		})
+	}
+	writeFields(obs, &st.est)
+}
+
+var (
+	_ Sensor = Perfect{}
+	_ Sensor = (*LoopDetector)(nil)
+	_ Sensor = (*ConnectedVehicle)(nil)
+)

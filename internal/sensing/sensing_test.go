@@ -1,0 +1,247 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"utilbp/internal/signal"
+)
+
+func truthObs(queue, inTransit, approach, outQueue, outOcc int) signal.LinkObs {
+	return signal.LinkObs{
+		Queue: queue, InTransit: inTransit, ApproachQueue: approach,
+		OutQueue: outQueue, OutOccupancy: outOcc,
+		OutCapacity: 120, InCapacity: 120, Mu: 0.5,
+	}
+}
+
+func TestPerfectCopiesTruth(t *testing.T) {
+	truth := truthObs(7, 3, 12, 5, 40)
+	var obs signal.LinkObs
+	Perfect{}.SenseLink(0, &truth, &obs, 4)
+	if obs != truth {
+		t.Fatalf("Perfect obs %+v != truth %+v", obs, truth)
+	}
+}
+
+func TestLoopDetectorTracksAndSaturates(t *testing.T) {
+	ld := NewLoopDetector(LoopDetectorOptions{Saturation: 10})
+	ld.Prepare(4)
+	ld.Reseed(3)
+	var obs signal.LinkObs
+
+	truth := truthObs(6, 2, 6, 0, 0)
+	ld.SenseLink(1, &truth, &obs, 0)
+	if obs.Queue != 6 || obs.ApproachQueue != 6 {
+		t.Fatalf("loop should count 6 crossings exactly, got %+v", obs)
+	}
+	if obs.InTransit != 0 {
+		t.Fatalf("stop-bar detector saw in-transit vehicles: %+v", obs)
+	}
+
+	// Growth beyond the zone saturates at 10.
+	truth = truthObs(25, 0, 25, 0, 0)
+	ld.SenseLink(1, &truth, &obs, 1)
+	if obs.Queue != 10 {
+		t.Fatalf("saturated queue = %d, want 10", obs.Queue)
+	}
+
+	// A positive empty detection resynchronizes to zero.
+	truth = truthObs(0, 0, 0, 0, 0)
+	ld.SenseLink(1, &truth, &obs, 2)
+	if obs.Queue != 0 {
+		t.Fatalf("empty resync queue = %d, want 0", obs.Queue)
+	}
+}
+
+func TestLoopDetectorFailureDrifts(t *testing.T) {
+	// FailProb 1: every event is missed, so the estimate never moves off
+	// zero no matter how the truth grows.
+	ld := NewLoopDetector(LoopDetectorOptions{FailProb: 0.999999})
+	ld.Prepare(1)
+	ld.Reseed(5)
+	var obs signal.LinkObs
+	for step := 0; step < 10; step++ {
+		truth := truthObs(step+1, 0, step+1, 0, 0)
+		ld.SenseLink(0, &truth, &obs, step)
+	}
+	if obs.Queue != 0 {
+		t.Fatalf("all-failing detector reported %d, want 0 (permanent drift)", obs.Queue)
+	}
+}
+
+func TestConnectedVehicleFullPenetrationExact(t *testing.T) {
+	// Rate 1, no noise, alpha 1: the sensor is a pass-through.
+	cv := NewConnectedVehicle(ConnectedVehicleOptions{Rate: 1, Estimator: ExpFilter{Alpha: 1}})
+	cv.Prepare(2)
+	cv.Reseed(9)
+	truth := truthObs(8, 3, 11, 4, 77)
+	var obs signal.LinkObs
+	cv.SenseLink(0, &truth, &obs, 0)
+	if obs.Queue != 8 || obs.InTransit != 3 || obs.ApproachQueue != 11 || obs.OutQueue != 4 || obs.OutOccupancy != 77 {
+		t.Fatalf("full-penetration pass-through diverged: %+v", obs)
+	}
+}
+
+func TestConnectedVehicleUnbiased(t *testing.T) {
+	cv := NewConnectedVehicle(ConnectedVehicleOptions{Rate: 0.3, Estimator: ExpFilter{Alpha: 1}})
+	cv.Prepare(1)
+	cv.Reseed(11)
+	truth := truthObs(30, 0, 30, 0, 0)
+	var obs signal.LinkObs
+	sum := 0.0
+	const events = 4000
+	for step := 0; step < events; step++ {
+		cv.SenseLink(0, &truth, &obs, step)
+		sum += float64(obs.Queue)
+	}
+	mean := sum / events
+	if math.Abs(mean-30) > 1 {
+		t.Fatalf("scaled penetration sampling is biased: mean %.2f, want ~30", mean)
+	}
+}
+
+func TestConnectedVehicleLatencyHoldsReports(t *testing.T) {
+	cv := NewConnectedVehicle(ConnectedVehicleOptions{Rate: 1, LatencySteps: 5, Estimator: ExpFilter{Alpha: 1}})
+	cv.Prepare(1)
+	cv.Reseed(1)
+	var obs signal.LinkObs
+	truth := truthObs(4, 0, 4, 0, 0)
+	cv.SenseLink(0, &truth, &obs, 0) // first report is accepted
+	if obs.Queue != 4 {
+		t.Fatalf("first report rejected: %+v", obs)
+	}
+	truth = truthObs(9, 0, 9, 0, 0)
+	cv.SenseLink(0, &truth, &obs, 3) // inside the latency window: held
+	if obs.Queue != 4 {
+		t.Fatalf("report inside latency window accepted: %+v", obs)
+	}
+	cv.SenseLink(0, &truth, &obs, 5) // window over: the new level lands
+	if obs.Queue != 9 {
+		t.Fatalf("report after latency window rejected: %+v", obs)
+	}
+}
+
+func TestSensorReseedReplays(t *testing.T) {
+	run := func(s Sensor) []int {
+		s.Prepare(3)
+		s.Reseed(42)
+		var got []int
+		var obs signal.LinkObs
+		for step := 0; step < 50; step++ {
+			truth := truthObs((step*7)%13, step%3, (step*7)%13+2, step%5, step%9)
+			s.SenseLink(step%3, &truth, &obs, step)
+			got = append(got, obs.Queue, obs.ApproachQueue, obs.OutQueue, obs.OutOccupancy)
+		}
+		return got
+	}
+	sensors := []Sensor{
+		NewLoopDetector(LoopDetectorOptions{FailProb: 0.2}),
+		NewConnectedVehicle(ConnectedVehicleOptions{Rate: 0.4, NoiseStd: 1.5}),
+	}
+	for _, s := range sensors {
+		first := run(s)
+		second := run(s) // Reseed inside run rewinds the same instance
+		if len(first) != len(second) {
+			t.Fatalf("%s: replay lengths diverged", s.Name())
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("%s: replay diverged at %d: %d vs %d", s.Name(), i, first[i], second[i])
+			}
+		}
+	}
+}
+
+func TestEstimators(t *testing.T) {
+	f := ExpFilter{Alpha: 0.5}
+	if got := f.Update(10, Sample{Level: 20}); got != 15 {
+		t.Errorf("ExpFilter.Update(10, 20) = %v, want 15", got)
+	}
+	if got := f.Update(10, Sample{Level: 20, Empty: true}); got != 0 {
+		t.Errorf("ExpFilter empty snap = %v, want 0", got)
+	}
+	c := CountIntegrator{Max: 12}
+	if got := c.Update(10, Sample{Delta: 5}); got != 12 {
+		t.Errorf("CountIntegrator clamp = %v, want 12", got)
+	}
+	if got := c.Update(2, Sample{Delta: -5}); got != 0 {
+		t.Errorf("CountIntegrator floor = %v, want 0", got)
+	}
+	if got := c.Update(7, Sample{Delta: 3, Empty: true}); got != 0 {
+		t.Errorf("CountIntegrator resync = %v, want 0", got)
+	}
+}
+
+func TestSpecParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"perfect", Spec{}},
+		{"loop", Loop()},
+		{"loop:40", Spec{Kind: KindLoop, Saturation: 40}},
+		{"cv:0.3", CV(0.3)},
+		{"CV:1", CV(1)},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String must round-trip through ParseSpec.
+		back, err := ParseSpec(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q failed: %+v, %v", c.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"cv", "cv:0", "cv:1.5", "cv:x", "loop:-3", "radar", "perfect:1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecNewAndValidate(t *testing.T) {
+	for _, spec := range []Spec{{}, Loop(), CV(0.5), {Kind: KindLoop, FailProb: 0.1, Saturation: -1}} {
+		s, err := spec.New()
+		if err != nil {
+			t.Errorf("Spec %+v rejected: %v", spec, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("Spec %+v built nil sensor", spec)
+		}
+	}
+	for _, spec := range []Spec{
+		CV(0), CV(-0.2), CV(2),
+		{Kind: KindConnectedVehicle, Rate: 0.5, NoiseStd: -1},
+		{Kind: KindConnectedVehicle, Rate: 0.5, LatencySteps: -1},
+		{Kind: KindConnectedVehicle, Rate: 0.5, FilterAlpha: 2},
+		{Kind: KindLoop, FailProb: 1},
+		{Kind: Kind(99)},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Spec %+v validated", spec)
+		}
+	}
+}
+
+func TestSensingStreamIndependentOfLabelSiblings(t *testing.T) {
+	// The sensing stream must differ from the demand and router streams
+	// of the same seed (independent named splits of one root).
+	root := sensingStream(7)
+	if root == nil {
+		t.Fatal("nil sensing stream")
+	}
+	a, b := sensingStream(7), sensingStream(7)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("sensing stream is not a pure function of the seed")
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Sensing-layer contracts of the engine: the explicit Perfect sensor is
+// bit-for-bit equal to the sensor-free fast path, sensors replay
+// identically across Reset/ResetWith (the dedicated "sensing" RNG
+// stream survives rewinds), installing a sensor never perturbs the
+// demand or routing streams, and the sensed step loop stays
+// allocation-free. External package: the tests drive the engine through
+// the scenario layer like the experiment harness does.
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
+	"utilbp/internal/sim"
+)
+
+// buildSensed builds a Pattern II engine with the given sensor (nil for
+// the perfect fast path), seeded for the run.
+func buildSensed(t *testing.T, seed uint64, sensor sensing.Sensor) *sim.Engine {
+	t.Helper()
+	setup := scenario.Default()
+	setup.Seed = seed
+	built, err := setup.Build(scenario.PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensor != nil {
+		sensor.Reseed(seed)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      built.Demand,
+		Router:      built.Router,
+		Routes:      built.Routes,
+		Sensor:      sensor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// TestPerfectSensorMatchesSensorFree pins the acceptance contract: an
+// engine with the explicit sensing.Perfect sensor installed (separate
+// truth array, per-link copy) reproduces the sensor-free fast path
+// (observation aliasing the truth) bit-for-bit.
+func TestPerfectSensorMatchesSensorFree(t *testing.T) {
+	const steps = 900
+	bare := buildSensed(t, 11, nil)
+	sensed := buildSensed(t, 11, sensing.Perfect{})
+	bare.Run(steps)
+	sensed.Run(steps)
+	for _, e := range []*sim.Engine{bare, sensed} {
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bare.Totals() != sensed.Totals() {
+		t.Fatalf("perfect sensor diverged: %+v vs %+v", bare.Totals(), sensed.Totals())
+	}
+	if !reflect.DeepEqual(bare.Vehicles(), sensed.Vehicles()) {
+		t.Fatal("perfect sensor vehicle arena diverges from sensor-free run")
+	}
+}
+
+// TestSensedResetReplaysIdentically extends the Reset replay contract
+// to noisy sensors: a reset engine with a ConnectedVehicle sensor must
+// replay bit-for-bit like a freshly built one — the sensing stream is
+// re-derived from the run seed exactly as at construction.
+func TestSensedResetReplaysIdentically(t *testing.T) {
+	const steps = 900
+	mkSensor := func() sensing.Sensor {
+		return sensing.NewConnectedVehicle(sensing.ConnectedVehicleOptions{Rate: 0.3, NoiseStd: 1})
+	}
+	engine := buildSensed(t, 13, mkSensor())
+	engine.Run(steps)
+
+	for _, seed := range []uint64{13, 14} {
+		if err := engine.Reset(seed); err != nil {
+			t.Fatal(err)
+		}
+		engine.Run(steps)
+		if err := engine.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fresh := buildSensed(t, seed, mkSensor())
+		fresh.Run(steps)
+		if engine.Totals() != fresh.Totals() {
+			t.Fatalf("seed %d: reset totals %+v != fresh totals %+v", seed, engine.Totals(), fresh.Totals())
+		}
+		if !reflect.DeepEqual(engine.Vehicles(), fresh.Vehicles()) {
+			t.Fatalf("seed %d: sensed reset arena diverges from fresh run", seed)
+		}
+	}
+}
+
+// TestResetWithSwapsSensor checks the sensor leg of the ResetWith
+// contract behind sensor sweeps on cached engines: installing a sensor
+// on a sensor-free engine, and clearing it again, both match freshly
+// built engines bit-for-bit.
+func TestResetWithSwapsSensor(t *testing.T) {
+	const steps = 900
+	engine := buildSensed(t, 17, nil)
+	engine.Run(steps)
+
+	// Install a loop detector on the rewound engine.
+	if err := engine.ResetWith(18, sim.ResetOptions{
+		Sensor: sensing.NewLoopDetector(sensing.LoopDetectorOptions{FailProb: 0.05}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(steps)
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildSensed(t, 18, sensing.NewLoopDetector(sensing.LoopDetectorOptions{FailProb: 0.05}))
+	fresh.Run(steps)
+	if engine.Totals() != fresh.Totals() {
+		t.Fatalf("sensor install: %+v != fresh %+v", engine.Totals(), fresh.Totals())
+	}
+	if !reflect.DeepEqual(engine.Vehicles(), fresh.Vehicles()) {
+		t.Fatal("sensor install: vehicle arena diverges from fresh run")
+	}
+
+	// Clear it again: back to the perfect fast path.
+	if err := engine.ResetWith(19, sim.ResetOptions{ClearSensor: true}); err != nil {
+		t.Fatal(err)
+	}
+	if engine.Sensor() != nil {
+		t.Fatal("ClearSensor left a sensor installed")
+	}
+	engine.Run(steps)
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	bare := buildSensed(t, 19, nil)
+	bare.Run(steps)
+	if engine.Totals() != bare.Totals() {
+		t.Fatalf("sensor clear: %+v != fresh %+v", engine.Totals(), bare.Totals())
+	}
+	if !reflect.DeepEqual(engine.Vehicles(), bare.Vehicles()) {
+		t.Fatal("sensor clear: vehicle arena diverges from fresh run")
+	}
+}
+
+// TestSensingStreamIndependence pins the dedicated-stream contract: a
+// noisy sensor changes control decisions but must not perturb the
+// demand or routing draws — same seed, same spawn sequence, same routes
+// per vehicle.
+func TestSensingStreamIndependence(t *testing.T) {
+	const steps = 900
+	bare := buildSensed(t, 23, nil)
+	sensed := buildSensed(t, 23, sensing.NewConnectedVehicle(sensing.ConnectedVehicleOptions{Rate: 0.2, NoiseStd: 2}))
+	bare.Run(steps)
+	sensed.Run(steps)
+	if err := sensed.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if bare.Totals().Spawned != sensed.Totals().Spawned {
+		t.Fatalf("sensor perturbed the demand stream: %d vs %d spawned",
+			bare.Totals().Spawned, sensed.Totals().Spawned)
+	}
+	bv, sv := bare.Vehicles(), sensed.Vehicles()
+	if len(bv) != len(sv) {
+		t.Fatalf("vehicle counts diverge: %d vs %d", len(bv), len(sv))
+	}
+	for i := range bv {
+		if bv[i].Route != sv[i].Route || bv[i].SpawnedAt != sv[i].SpawnedAt || bv[i].EntryRoad != sv[i].EntryRoad {
+			t.Fatalf("sensor perturbed the route/demand streams at vehicle %d: %+v vs %+v", i, bv[i], sv[i])
+		}
+	}
+}
+
+// TestSensedSteadyStateAllocs extends the zero-allocation steady-state
+// contract to sensed engines: once warm, stepping with a LoopDetector
+// or ConnectedVehicle sensor installed must not touch the heap either
+// (per-link sensor state is pre-sized by Prepare, readings draw from
+// the allocation-free rng.Source).
+func TestSensedSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sensor sensing.Sensor
+	}{
+		{"perfect", sensing.Perfect{}},
+		{"loop", sensing.NewLoopDetector(sensing.LoopDetectorOptions{FailProb: 0.05})},
+		{"cv", sensing.NewConnectedVehicle(sensing.ConnectedVehicleOptions{Rate: 0.3, NoiseStd: 1, LatencySteps: 3})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const warmup = 600
+			setup := scenario.Default()
+			setup.Seed = 7
+			built, err := setup.Build(scenario.PatternI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.sensor.Reseed(setup.Seed)
+			engine, err := sim.New(sim.Config{
+				Net:         built.Grid.Network,
+				Controllers: setup.UtilBP(),
+				Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+				Router:      built.Router,
+				Routes:      built.Routes,
+				Sensor:      tc.sensor,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine.Run(warmup + 20)
+			if engine.Totals().Spawned == 0 {
+				t.Fatal("warmup spawned no vehicles")
+			}
+			allocs := testing.AllocsPerRun(400, func() {
+				engine.Run(20)
+			})
+			if allocs != 0 {
+				t.Fatalf("sensed stepOnce allocates: %v allocs per Run(20), want 0", allocs)
+			}
+			if err := engine.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunTimedMatchesRun pins that the instrumented stepper evolves
+// state exactly like Run and attributes time to every substep.
+func TestRunTimedMatchesRun(t *testing.T) {
+	const steps = 600
+	plain := buildSensed(t, 29, nil)
+	timed := buildSensed(t, 29, nil)
+	plain.Run(steps)
+	var pt sim.PhaseTimings
+	timed.RunTimed(steps, &pt)
+	if plain.Totals() != timed.Totals() {
+		t.Fatalf("RunTimed diverged from Run: %+v vs %+v", plain.Totals(), timed.Totals())
+	}
+	if !reflect.DeepEqual(plain.Vehicles(), timed.Vehicles()) {
+		t.Fatal("RunTimed vehicle arena diverges from Run")
+	}
+	if pt.Steps != steps {
+		t.Fatalf("PhaseTimings.Steps = %d, want %d", pt.Steps, steps)
+	}
+	if pt.Control <= 0 || pt.Serve <= 0 || pt.Travel <= 0 || pt.Arrivals <= 0 {
+		t.Fatalf("missing substep attribution: %+v", pt)
+	}
+}
