@@ -16,6 +16,7 @@ import (
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
+	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 	"utilbp/internal/stability"
 )
@@ -417,6 +418,70 @@ func stepOnceBench(b *testing.B, sensor sensing.Sensor) {
 		engine.Run(1)
 		used++
 	}
+}
+
+// BenchmarkControlPhasePerJunction and BenchmarkControlPhaseBatched
+// time the full warm mini-slot (same warm-and-replay discipline as
+// BenchmarkStepOnce, 0 B/op / 0 allocs/op CI-gated) with the control
+// substep dispatched per-junction vs through the batched control plane
+// (DESIGN.md §11). The control_ns_per_step metric attributes the
+// control substep's share from an instrumented replay of the identical
+// horizon (sim.Engine.RunTimed), so the batched plane's win is visible
+// next to the headline ns/op.
+func BenchmarkControlPhasePerJunction(b *testing.B) { controlPhaseBench(b, signal.ControlPerJunction) }
+
+// BenchmarkControlPhaseBatched is the batched-dispatch counterpart of
+// BenchmarkControlPhasePerJunction.
+func BenchmarkControlPhaseBatched(b *testing.B) { controlPhaseBench(b, signal.ControlBatched) }
+
+// controlPhaseBench is the shared body of the ControlPhase benchmarks.
+func controlPhaseBench(b *testing.B, mode signal.ControlMode) {
+	b.Helper()
+	const horizon = 2000
+	setup := benchSetup()
+	setup.Control = mode
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:              built.Grid.Network,
+		Controllers:      setup.UtilBP(),
+		Demand:           built.Demand,
+		Router:           built.Router,
+		Routes:           built.Routes,
+		Control:          setup.Control,
+		ExpectedVehicles: built.ExpectedVehicles(horizon),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.Run(horizon) // grow the working set over one full horizon
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	used := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if used == horizon {
+			b.StopTimer()
+			if err := engine.Reset(setup.Seed); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			used = 0
+		}
+		engine.Run(1)
+		used++
+	}
+	b.StopTimer()
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	var pt sim.PhaseTimings
+	engine.RunTimed(horizon, &pt)
+	b.ReportMetric(float64(pt.Control.Nanoseconds())/float64(pt.Steps), "control_ns_per_step")
 }
 
 func benchName(prefix string, v int) string {

@@ -38,6 +38,7 @@ import (
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
+	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 )
 
@@ -50,11 +51,12 @@ type Report struct {
 	GOARCH      string `json:"goarch"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	LoadedStep StepReport         `json:"loaded_step"`
-	SteadyStep StepReport         `json:"steady_step"`
-	Sensing    []SensorStepReport `json:"sensing,omitempty"`
-	Sweeps     []SweepTime        `json:"sweeps"`
-	EngineHeap []HeapReport       `json:"engine_heap,omitempty"`
+	LoadedStep StepReport          `json:"loaded_step"`
+	SteadyStep StepReport          `json:"steady_step"`
+	Sensing    []SensorStepReport  `json:"sensing,omitempty"`
+	Control    []ControlStepReport `json:"control,omitempty"`
+	Sweeps     []SweepTime         `json:"sweeps"`
+	EngineHeap []HeapReport        `json:"engine_heap,omitempty"`
 }
 
 // StepReport summarizes a stepping measurement. The headline numbers
@@ -93,6 +95,17 @@ type SensorStepReport struct {
 	StepReport
 }
 
+// ControlStepReport is one controller-mode measurement: steady-state
+// stepping of a workload under UTIL-BP with the control substep
+// dispatched per-junction or batched (DESIGN.md §11), so the batched
+// control plane's win is visible in the phases.control_ns column next
+// to the per-junction reference.
+type ControlStepReport struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	StepReport
+}
+
 // SweepTime is the wall time of one experiment-layer sweep.
 type SweepTime struct {
 	Name        string  `json:"name"`
@@ -118,22 +131,23 @@ type HeapReport struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH.json", "output JSON path")
-		note     = flag.String("note", "", "free-form note recorded in the report")
-		steps    = flag.Int("steps", 200000, "mini-slots for the loaded measurement")
-		steady   = flag.Int("steady-steps", 2000, "mini-slots for the steady-state measurement (kept short so the quiesced network is still carrying traffic)")
-		warmup   = flag.Int("warmup", 900, "warmup mini-slots before the steady-state measurement")
-		seeds    = flag.Int("seeds", 8, "seeds for the Table III multi-seed sweep")
-		seed     = flag.Uint64("seed", 1, "first seed (seeds are consecutive)")
-		duration = flag.Float64("duration", 0, "sweep horizon override in seconds (0 = paper horizons)")
-		minP     = flag.Int("min-period", 10, "CAP-BP sweep start (s)")
-		maxP     = flag.Int("max-period", 80, "CAP-BP sweep end (s)")
-		stepP    = flag.Int("step", 10, "CAP-BP sweep step (s)")
-		serial   = flag.Bool("serial", false, "also time the serial reference scheduler")
-		workload = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
-		sense    = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
-		wlDur    = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
-		heap     = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
+		out       = flag.String("out", "BENCH.json", "output JSON path")
+		note      = flag.String("note", "", "free-form note recorded in the report")
+		steps     = flag.Int("steps", 200000, "mini-slots for the loaded measurement")
+		steady    = flag.Int("steady-steps", 2000, "mini-slots for the steady-state measurement (kept short so the quiesced network is still carrying traffic)")
+		warmup    = flag.Int("warmup", 900, "warmup mini-slots before the steady-state measurement")
+		seeds     = flag.Int("seeds", 8, "seeds for the Table III multi-seed sweep")
+		seed      = flag.Uint64("seed", 1, "first seed (seeds are consecutive)")
+		duration  = flag.Float64("duration", 0, "sweep horizon override in seconds (0 = paper horizons)")
+		minP      = flag.Int("min-period", 10, "CAP-BP sweep start (s)")
+		maxP      = flag.Int("max-period", 80, "CAP-BP sweep end (s)")
+		stepP     = flag.Int("step", 10, "CAP-BP sweep step (s)")
+		serial    = flag.Bool("serial", false, "also time the serial reference scheduler")
+		workload  = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
+		sense     = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
+		ctrlModes = flag.Bool("control-modes", true, "measure the control substep per dispatch mode (per-junction vs batched) on the paper and city grids")
+		wlDur     = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
+		heap      = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
 	flag.Parse()
 	// A workload-duration the operator set explicitly applies verbatim;
@@ -182,6 +196,20 @@ func main() {
 		}
 	}
 
+	if *ctrlModes {
+		for _, wl := range []string{"paper-grid", "city-grid"} {
+			for _, mode := range []signal.ControlMode{signal.ControlPerJunction, signal.ControlBatched} {
+				rep, err := measureControlMode(wl, mode, *seed, *warmup, *steady)
+				if err != nil {
+					fatal(err)
+				}
+				report.Control = append(report.Control, rep)
+				fmt.Printf("control %s/%s: %.0f ns/step (control %.0f ns), %.4f allocs/step\n",
+					wl, mode, rep.NsPerStep, rep.Phases.ControlNs, rep.AllocsPerStep)
+			}
+		}
+	}
+
 	var periods []int
 	for p := *minP; p <= *maxP; p += *stepP {
 		periods = append(periods, p)
@@ -203,6 +231,17 @@ func main() {
 			_, err := experiment.TableIIIMultiSeed(setup, nil, periods, *duration, seedList)
 			return err
 		}},
+	}
+	if *ctrlModes {
+		// The same pooled sweep with batched dispatch forced off — the
+		// sweep-level controller-mode comparison (the default setup runs
+		// batched via ControlAuto).
+		perJunction := setup
+		perJunction.Control = signal.ControlPerJunction
+		sweeps = append(sweeps, sweepJob{"table3_multiseed_pooled_per-junction", len(scenario.AllPatterns), len(periods), *duration, func() error {
+			_, err := experiment.TableIIIMultiSeed(perJunction, nil, periods, *duration, seedList)
+			return err
+		}})
 	}
 	if *sense {
 		// The penetration sweep's "periods" column counts its sensor
@@ -334,6 +373,7 @@ func steadyEngine(setup scenario.Setup, pattern scenario.Pattern, sensor sensing
 		Router:      built.Router,
 		Routes:      built.Routes,
 		Sensor:      sensor,
+		Control:     setup.Control,
 	})
 	if err != nil {
 		return nil, err
@@ -384,6 +424,30 @@ func sensingCases() []struct {
 		{"paper-grid", "cv:0.3", sensing.CV(0.3), false},
 		{"city-grid", "perfect", sensing.Spec{}, false},
 	}
+}
+
+// measureControlMode runs the steady-state measurement for one
+// workload × controller dispatch mode, under the same seed and warmup
+// as the sibling stepping measurements.
+func measureControlMode(workload string, mode signal.ControlMode, seed uint64, warmup, steps int) (ControlStepReport, error) {
+	w, ok := scenario.WorkloadByName(workload)
+	if !ok {
+		return ControlStepReport{}, fmt.Errorf("workload %q not registered", workload)
+	}
+	setup := w.Setup
+	setup.Seed = seed
+	setup.Control = mode
+	engine, err := steadyEngine(setup, w.Pattern, nil, warmup)
+	if err != nil {
+		return ControlStepReport{}, err
+	}
+	rep := timeSteps(engine, steps)
+	timed, err := steadyEngine(setup, w.Pattern, nil, warmup)
+	if err != nil {
+		return ControlStepReport{}, err
+	}
+	rep.Phases = phaseSplit(timed, steps)
+	return ControlStepReport{Workload: workload, Mode: mode.String(), StepReport: rep}, nil
 }
 
 // measureSensing runs the steady-state measurement for one workload ×

@@ -10,6 +10,7 @@
 //	trafficsim -pattern II -controller util -sensor cv:0.3
 //	trafficsim -workload arterial-corridor -controller util
 //	trafficsim -workload estimated-grid -sensor loop
+//	trafficsim -workload city-grid -control per-junction
 //	trafficsim -list-workloads
 package main
 
@@ -23,6 +24,7 @@ import (
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
+	"utilbp/internal/signal"
 	"utilbp/internal/stats"
 	"utilbp/internal/trace"
 )
@@ -46,6 +48,7 @@ func main() {
 		workload    = flag.String("workload", "", "registered workload providing pattern and grid defaults; explicit -rows/-cols/-capacity still apply (see -list-workloads)")
 		listWk      = flag.Bool("list-workloads", false, "list the registered workloads and exit")
 		sensorFlag  = flag.String("sensor", "", "observation sensor: perfect | loop | cv:<rate> (default: the workload's sensor, else perfect)")
+		controlFlag = flag.String("control", "", "controller dispatch mode: auto | per-junction | batched (default auto: batched when the controller supports it)")
 	)
 	flag.Parse()
 
@@ -121,6 +124,13 @@ func main() {
 			fatal(err)
 		}
 		setup.Sensor = spec
+	}
+	if *controlFlag != "" {
+		mode, err := signal.ParseControlMode(*controlFlag)
+		if err != nil {
+			fatal(err)
+		}
+		setup.Control = mode
 	}
 
 	factory, err := cli.PickFactory(setup, *controller, *period)

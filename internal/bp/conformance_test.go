@@ -1,0 +1,32 @@
+package bp_test
+
+import (
+	"testing"
+
+	"utilbp/internal/bp"
+	"utilbp/internal/signal/signaltest"
+)
+
+// TestConformanceFixedSlot runs the shared controller conformance suite
+// over the fixed-slot back-pressure baselines. The fixed-length slot
+// scheduler guarantees a full control period of green between
+// transitions, so MinGreenSteps pins the period itself.
+func TestConformanceFixedSlot(t *testing.T) {
+	slot := bp.SlotOptions{PeriodSteps: 20, AmberSteps: 4}
+	short := bp.SlotOptions{PeriodSteps: 8, AmberSteps: 2}
+	noAmber := bp.SlotOptions{PeriodSteps: 12}
+	skipRedundant := bp.SlotOptions{PeriodSteps: 16, AmberSteps: 4, SkipRedundantAmber: true}
+	cases := []signaltest.Case{
+		{Name: "CAP-BP", Factory: bp.CAPBP(slot), AmberSteps: 4, MinGreenSteps: 20},
+		{Name: "CAP-BP-short", Factory: bp.CAPBP(short), AmberSteps: 2, MinGreenSteps: 8},
+		{Name: "CAP-BP-approaching", Factory: bp.CAPBPApproaching(slot), AmberSteps: 4, MinGreenSteps: 20},
+		{Name: "CAP-BP-NORM", Factory: bp.CAPBPNormalized(slot), AmberSteps: 4, MinGreenSteps: 20},
+		{Name: "ORIG-BP", Factory: bp.ORIGBP(slot), AmberSteps: 4, MinGreenSteps: 20},
+		{Name: "CAP-BP-noamber", Factory: bp.CAPBP(noAmber), MinGreenSteps: 12},
+		{Name: "CAP-BP-skipredundant", Factory: bp.CAPBP(skipRedundant), AmberSteps: 4, MinGreenSteps: 16},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) { signaltest.Run(t, c) })
+	}
+}

@@ -130,44 +130,47 @@ func (c *Controller) selectPhase(obs *signal.Obs) signal.Phase {
 	return best
 }
 
+// factory builds fixed-slot controllers with one gain function. It is
+// deliberately NOT a signal.BatchFactory: a fixed-slot controller
+// evaluates pressures only at slot boundaries, so there is no
+// every-round gain sweep for a dense slab to amortize (unlike UTIL-BP,
+// core.BatchController) — and a batch-capable factory would switch
+// auto-mode engines onto batched dispatch, paying the change-set upkeep
+// in sense with nothing consuming it. Forced batched dispatch
+// (signal.ControlBatched) still works: the engine adapter-wraps the
+// per-junction controllers with signal.Batched, decision-identical.
+type factory struct {
+	label string
+	gain  GainFunc
+	opts  SlotOptions
+}
+
+// Name implements signal.Factory.
+func (f factory) Name() string { return f.label }
+
+// New implements signal.Factory.
+func (f factory) New(info signal.JunctionInfo) (signal.Controller, error) {
+	return NewController(f.label, info, f.gain, f.opts)
+}
+
 // CAPBP returns the CAP-BP factory: capacity-aware gains on fixed slots,
 // the paper's main baseline [4].
 func CAPBP(opts SlotOptions) signal.Factory {
-	return signal.FactoryFunc{
-		Label: "CAP-BP",
-		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
-			return NewController("CAP-BP", info, CapacityAwareGain, opts)
-		},
-	}
+	return factory{label: "CAP-BP", gain: CapacityAwareGain, opts: opts}
 }
 
 // CAPBPApproaching returns CAP-BP with approaching vehicles counted in
 // the incoming pressure, matching UTIL-BP's detector convention.
 func CAPBPApproaching(opts SlotOptions) signal.Factory {
-	return signal.FactoryFunc{
-		Label: "CAP-BP",
-		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
-			return NewController("CAP-BP", info, CapacityAwareGainApproaching, opts)
-		},
-	}
+	return factory{label: "CAP-BP", gain: CapacityAwareGainApproaching, opts: opts}
 }
 
 // CAPBPNormalized returns the capacity-normalized CAP-BP variant.
 func CAPBPNormalized(opts SlotOptions) signal.Factory {
-	return signal.FactoryFunc{
-		Label: "CAP-BP-NORM",
-		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
-			return NewController("CAP-BP-NORM", info, NormalizedCapacityAwareGain, opts)
-		},
-	}
+	return factory{label: "CAP-BP-NORM", gain: NormalizedCapacityAwareGain, opts: opts}
 }
 
 // ORIGBP returns the original back-pressure factory of eq. (5) [3].
 func ORIGBP(opts SlotOptions) signal.Factory {
-	return signal.FactoryFunc{
-		Label: "ORIG-BP",
-		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
-			return NewController("ORIG-BP", info, OriginalGain, opts)
-		},
-	}
+	return factory{label: "ORIG-BP", gain: OriginalGain, opts: opts}
 }

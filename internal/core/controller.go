@@ -90,6 +90,16 @@ func (c *Controller) Name() string { return "UTIL-BP" }
 // Decide implements signal.Controller with Algorithm 1.
 func (c *Controller) Decide(obs *signal.Obs) signal.Phase {
 	c.gains = Gains(obs, c.params, c.opts.Variant, c.gains)
+	return c.decideWithGains(obs)
+}
+
+// decideWithGains is Algorithm 1 with the link gains already evaluated
+// into c.gains. It is the shared decision tail of the per-junction
+// Decide and the batched controller's flat sweep (batch.go), kept in one
+// place so the two dispatch paths cannot drift: the batched path fills
+// c.gains from its change-set-maintained slab window and calls this
+// exact code.
+func (c *Controller) decideWithGains(obs *signal.Obs) signal.Phase {
 	cur := obs.Current
 
 	// Case 1 (lines 1-2): the transition period Δk has not expired.
@@ -177,12 +187,29 @@ func (c *Controller) selectPhase(cur signal.Phase) signal.Phase {
 }
 
 // Factory returns a signal.Factory building UTIL-BP controllers with the
-// given options.
+// given options. The returned factory also implements
+// signal.BatchFactory, so engines in auto or batched control mode run
+// UTIL-BP through the batched control plane (NewBatchController) —
+// bit-for-bit equal to the per-junction path.
 func Factory(opts Options) signal.Factory {
-	return signal.FactoryFunc{
-		Label: "UTIL-BP",
-		Build: func(info signal.JunctionInfo) (signal.Controller, error) {
-			return New(info, opts)
-		},
-	}
+	return factory{opts: opts}
+}
+
+// factory is the UTIL-BP factory, implementing both signal.Factory and
+// signal.BatchFactory.
+type factory struct {
+	opts Options
+}
+
+// Name implements signal.Factory.
+func (f factory) Name() string { return "UTIL-BP" }
+
+// New implements signal.Factory.
+func (f factory) New(info signal.JunctionInfo) (signal.Controller, error) {
+	return New(info, f.opts)
+}
+
+// NewBatch implements signal.BatchFactory.
+func (f factory) NewBatch(infos []signal.JunctionInfo) (signal.BatchController, error) {
+	return NewBatchController(infos, f.opts)
 }

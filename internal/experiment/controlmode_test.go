@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+
+	"utilbp/internal/scenario"
+	"utilbp/internal/signal"
+)
+
+// TestEngineCacheRunModeMatchesFresh pins the controller-mode axis of
+// the engine cache: one cached engine serving per-junction and batched
+// cells mid-sweep (the dispatch mode swapped on every rewind through
+// sim.ResetOptions) must match freshly built engines for each cell —
+// and the modes must match each other, since the batched control plane
+// is pinned bit-for-bit to the per-junction path.
+func TestEngineCacheRunModeMatchesFresh(t *testing.T) {
+	base := scenario.Default()
+	base.Seed = 3
+	cache := NewEngineCache(base)
+	const horizon = 600
+
+	cells := []struct {
+		name string
+		mode signal.ControlMode
+		seed uint64
+	}{
+		{"batched-seed3", signal.ControlBatched, 3},
+		{"per-junction-seed3", signal.ControlPerJunction, 3},
+		{"batched-seed4", signal.ControlBatched, 4},
+		{"per-junction-seed4", signal.ControlPerJunction, 4},
+		{"per-junction-again", signal.ControlPerJunction, 3},
+	}
+	waits := map[uint64]map[signal.ControlMode]float64{}
+	for _, cell := range cells {
+		setup := base
+		setup.Seed = cell.seed
+		got, err := cache.RunMode(scenario.PatternII, FamilyUtilBP, setup.UtilBP(), cell.mode, cell.seed, horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.name, err)
+		}
+		setup.Control = cell.mode
+		fresh, err := Run(Spec{Setup: setup, Pattern: scenario.PatternII, Factory: setup.UtilBP(), DurationSec: horizon})
+		if err != nil {
+			t.Fatalf("%s fresh: %v", cell.name, err)
+		}
+		if got != fresh {
+			t.Fatalf("%s: cached result %+v != fresh result %+v", cell.name, got, fresh)
+		}
+		if waits[cell.seed] == nil {
+			waits[cell.seed] = map[signal.ControlMode]float64{}
+		}
+		waits[cell.seed][cell.mode] = got.Summary.MeanWait
+	}
+	for seed, byMode := range waits {
+		if byMode[signal.ControlBatched] != byMode[signal.ControlPerJunction] {
+			t.Fatalf("seed %d: batched mean wait %v != per-junction %v",
+				seed, byMode[signal.ControlBatched], byMode[signal.ControlPerJunction])
+		}
+	}
+}

@@ -84,7 +84,21 @@ func (c *EngineCache) Run(pattern scenario.Pattern, family ControllerFamily, fac
 	if err != nil {
 		return Result{}, err
 	}
-	return c.run(inst, pattern, family, factory, inst.Sensor, seed, durationSec)
+	return c.run(inst, pattern, family, factory, inst.Sensor, inst.Setup.Control, seed, durationSec)
+}
+
+// RunMode is Run with an explicit controller dispatch mode overriding
+// the base setup's — the controller-mode sweep axis: one cached engine
+// serves per-junction and batched cells alike, the mode switched
+// through sim.ResetOptions on every rewind so cells cannot leak their
+// mode into each other (the sensor-swap discipline of RunSensor,
+// applied to dispatch).
+func (c *EngineCache) RunMode(pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, mode signal.ControlMode, seed uint64, durationSec float64) (Result, error) {
+	inst, err := c.instance(pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.run(inst, pattern, family, factory, inst.Sensor, mode, seed, durationSec)
 }
 
 // RunSensor is Run with an explicit per-cell observation sensor
@@ -98,7 +112,7 @@ func (c *EngineCache) RunSensor(pattern scenario.Pattern, family ControllerFamil
 	if err != nil {
 		return Result{}, err
 	}
-	return c.run(inst, pattern, family, factory, sensor, seed, durationSec)
+	return c.run(inst, pattern, family, factory, sensor, inst.Setup.Control, seed, durationSec)
 }
 
 // instance returns the per-worker mutable scenario instance for a
@@ -116,7 +130,7 @@ func (c *EngineCache) instance(pattern scenario.Pattern) (*scenario.Instance, er
 	return inst, nil
 }
 
-func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, sensor sensing.Sensor, seed uint64, durationSec float64) (Result, error) {
+func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, family ControllerFamily, factory signal.Factory, sensor sensing.Sensor, mode signal.ControlMode, seed uint64, durationSec float64) (Result, error) {
 	if factory == nil {
 		return Result{}, fmt.Errorf("experiment: EngineCache.Run requires a factory")
 	}
@@ -134,6 +148,7 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 			Router:           inst.Router,
 			Routes:           inst.Routes,
 			Sensor:           sensor,
+			Control:          mode,
 			ExpectedVehicles: inst.ExpectedVehicles(duration),
 		})
 		if err != nil {
@@ -146,8 +161,9 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 	// was built for another pattern of the same grid: road IDs are dense
 	// and the builder is deterministic, so structurally identical grids
 	// agree on every ID the demand, router and route table use. The
-	// sensor is swapped (or cleared) the same way, so one engine serves
-	// cells with different observation models.
+	// sensor and the controller dispatch mode are swapped the same way,
+	// so one engine serves cells with different observation models and
+	// control modes without leaking either across cells.
 	if err := engine.ResetWith(seed, sim.ResetOptions{
 		Controllers: factory,
 		Demand:      inst.Demand,
@@ -155,6 +171,8 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 		Routes:      inst.Routes,
 		Sensor:      sensor,
 		ClearSensor: sensor == nil,
+		Control:     mode,
+		SetControl:  true,
 	}); err != nil {
 		return Result{}, err
 	}

@@ -64,6 +64,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Instance, float64, error) {
 		Router:           built.Router,
 		Routes:           built.Routes,
 		Sensor:           built.Sensor,
+		Control:          built.Setup.Control,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
 		ExpectedVehicles: built.ExpectedVehicles(duration),

@@ -1,0 +1,25 @@
+package fixedtime_test
+
+import (
+	"testing"
+
+	"utilbp/internal/fixedtime"
+	"utilbp/internal/signal/signaltest"
+)
+
+// TestConformanceFixedTime runs the shared controller conformance suite
+// over the pretimed round-robin controller, including an offset variant
+// and the amber-free configuration. FixedTime implements no
+// signal.BatchFactory, so the suite also exercises the pure
+// signal.Batched adapter path for it.
+func TestConformanceFixedTime(t *testing.T) {
+	cases := []signaltest.Case{
+		{Name: "FIXED", Factory: fixedtime.Factory(fixedtime.Options{GreenSteps: 22, AmberSteps: 4}), AmberSteps: 4, MinGreenSteps: 22},
+		{Name: "FIXED-offset", Factory: fixedtime.Factory(fixedtime.Options{GreenSteps: 15, AmberSteps: 3, Offset: 7}), AmberSteps: 3},
+		{Name: "FIXED-noamber", Factory: fixedtime.Factory(fixedtime.Options{GreenSteps: 10}), MinGreenSteps: 10},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) { signaltest.Run(t, c) })
+	}
+}

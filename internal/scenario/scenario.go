@@ -184,6 +184,13 @@ type Setup struct {
 	// instantiated per run with a dedicated "sensing" RNG stream
 	// derived from Seed, independent of the demand and route streams.
 	Sensor sensing.Spec
+	// Control selects the engine's controller dispatch mode
+	// (DESIGN.md §11): the zero value (signal.ControlAuto) runs the
+	// batched control plane whenever the controller factory supports
+	// it; signal.ControlPerJunction forces the per-junction Decide
+	// loop. The two are pinned bit-for-bit equal — the axis exists so
+	// sweeps and perfbench can compare their cost.
+	Control signal.ControlMode
 }
 
 // Default returns the paper's Section V setup. The physical saturation

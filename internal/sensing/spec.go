@@ -63,21 +63,24 @@ func (s Spec) Validate() error {
 	case KindPerfect:
 		return nil
 	case KindLoop:
-		if s.FailProb < 0 || s.FailProb >= 1 {
+		// The inverted comparisons also reject NaN (every NaN comparison
+		// is false), which FuzzParseSpec caught slipping through the
+		// naive range checks via "cv:NaN"-style inputs.
+		if !(s.FailProb >= 0 && s.FailProb < 1) {
 			return fmt.Errorf("sensing: loop failure probability %v outside [0, 1)", s.FailProb)
 		}
 		return nil
 	case KindConnectedVehicle:
-		if s.Rate <= 0 || s.Rate > 1 {
+		if !(s.Rate > 0 && s.Rate <= 1) {
 			return fmt.Errorf("sensing: connected-vehicle penetration rate %v outside (0, 1]", s.Rate)
 		}
-		if s.NoiseStd < 0 {
+		if !(s.NoiseStd >= 0) {
 			return fmt.Errorf("sensing: negative noise std %v", s.NoiseStd)
 		}
 		if s.LatencySteps < 0 {
 			return fmt.Errorf("sensing: negative report latency %d", s.LatencySteps)
 		}
-		if s.FilterAlpha < 0 || s.FilterAlpha > 1 {
+		if !(s.FilterAlpha >= 0 && s.FilterAlpha <= 1) {
 			return fmt.Errorf("sensing: filter alpha %v outside [0, 1]", s.FilterAlpha)
 		}
 		return nil

@@ -1,0 +1,57 @@
+package sensing
+
+import "testing"
+
+// FuzzParseSpec fuzzes the ParseSpec/Spec.String round trip: any input
+// ParseSpec accepts must validate, render through String, re-parse, and
+// reach a fixed point — the property the sweep axes and the workload
+// registry rely on when they treat sensor specs as comparable, printable
+// values. The seed corpus in testdata/fuzz/FuzzParseSpec covers every
+// CLI form plus near-miss inputs.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"perfect", "", "loop", "loop:50", "loop:60", "loop:1", "cv:0.3",
+		"cv:1", "cv:0.125", "cv:1e-3", "CV:0.5", "LOOP", " loop ",
+		"cv:", "loop:", "cv:0", "cv:2", "loop:-1", "loop:0", "perfect:x",
+		"cv:0.30000000000000004", "bogus", "cv:NaN", "cv:+Inf",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, arg string) {
+		spec, err := ParseSpec(arg)
+		if err != nil {
+			return // rejected inputs are out of contract
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %+v: %v", arg, spec, err)
+		}
+		rendered := spec.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) -> %+v renders %q, which does not re-parse: %v", arg, spec, rendered, err)
+		}
+		// Kind and the CLI-expressible parameters must survive the round
+		// trip; the rendering itself must be a fixed point. (Structural
+		// equality is deliberately not required: "loop:60" normalizes to
+		// "loop" because 60 is the default saturation — same sensor,
+		// canonical spelling.)
+		if back.Kind != spec.Kind {
+			t.Fatalf("round trip of %q changed kind: %+v -> %+v", arg, spec, back)
+		}
+		if back.Rate != spec.Rate {
+			t.Fatalf("round trip of %q changed rate: %v -> %v", arg, spec.Rate, back.Rate)
+		}
+		normSat := func(s Spec) int {
+			if s.Kind != KindLoop || s.Saturation == 0 {
+				return DefaultSaturation
+			}
+			return s.Saturation
+		}
+		if normSat(back) != normSat(spec) {
+			t.Fatalf("round trip of %q changed saturation: %+v -> %+v", arg, spec, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point for %q: %q -> %q", arg, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,413 @@
+// Package signaltest is a reusable conformance suite for
+// signal.Controller implementations: a table of contract invariants —
+// in-range decisions, replay determinism, amber insertion between
+// distinct greens, minimum green holding, factory independence, and
+// batched-dispatch equivalence — driven over a set of scripted
+// observation scenarios. Controller packages (internal/core,
+// internal/bp, internal/fixedtime) run their factories through Run, so
+// third-party controllers get the engine's expectations as an
+// executable checklist instead of prose (DESIGN.md §6, §11).
+package signaltest
+
+import (
+	"fmt"
+	"testing"
+
+	"utilbp/internal/signal"
+)
+
+// Case describes one controller family under conformance test.
+type Case struct {
+	// Name labels the subtests.
+	Name string
+	// Factory is the implementation under test.
+	Factory signal.Factory
+	// AmberSteps is the transition duration the factory was configured
+	// with: the suite requires at least that many consecutive amber
+	// decisions between two distinct green phases. Zero skips the
+	// amber-insertion invariant (the controller may switch directly).
+	AmberSteps int
+	// MinGreenSteps is the guaranteed green hold: no completed green run
+	// may be shorter. Values < 2 skip the check (every run is at least
+	// one slot by construction).
+	MinGreenSteps int
+}
+
+// testJunction returns the synthetic junction the scripts are written
+// against: four links in two phases, the paper's W* and a 1 s mini-slot.
+func testJunction(label string) signal.JunctionInfo {
+	return signal.JunctionInfo{
+		Label:    label,
+		Phases:   [][]int{{0, 1}, {2, 3}},
+		NumLinks: 4,
+		WStar:    120,
+		DeltaT:   1,
+	}
+}
+
+// script drives one junction's observation trajectory: fill overwrites
+// the dynamic fields of the link observations for a step. Static fields
+// (capacities, Mu) are preset by staticFill and must not be touched.
+type script struct {
+	name  string
+	steps int
+	fill  func(step int, links []signal.LinkObs)
+}
+
+// staticFill sets the immutable observation fields the engine would fill
+// at construction.
+func staticFill(links []signal.LinkObs) {
+	for i := range links {
+		links[i] = signal.LinkObs{InCapacity: 120, OutCapacity: 120, Mu: 0.5}
+	}
+}
+
+// setQueues writes a link's dynamic state keeping the cross-field
+// relations the engine maintains (ApproachQueue ≥ Queue,
+// OutOccupancy ≥ OutQueue).
+func setQueues(l *signal.LinkObs, queue, inTransit, outQueue, outExtra int) {
+	l.Queue = queue
+	l.InTransit = inTransit
+	l.ApproachQueue = queue + inTransit
+	l.OutQueue = outQueue
+	l.OutOccupancy = outQueue + outExtra
+}
+
+// splitmix is a tiny deterministic PRNG for the noisy script; it must
+// not depend on internal/rng so the suite stays a leaf package.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// scripts returns the scripted scenarios every invariant runs over.
+func scripts() []script {
+	return []script{
+		{"empty", 160, func(step int, links []signal.LinkObs) {
+			for i := range links {
+				setQueues(&links[i], 0, 0, 0, 0)
+			}
+		}},
+		{"steady-bias", 240, func(step int, links []signal.LinkObs) {
+			// Phase 1's links carry sustained load; phase 2 stays light.
+			setQueues(&links[0], 14, 2, 3, 1)
+			setQueues(&links[1], 9, 1, 2, 0)
+			setQueues(&links[2], 2, 0, 4, 1)
+			setQueues(&links[3], 1, 0, 5, 2)
+		}},
+		{"alternating", 320, func(step int, links []signal.LinkObs) {
+			// The heavy side flips every 40 slots, forcing transitions.
+			heavy, light := 0, 2
+			if (step/40)%2 == 1 {
+				heavy, light = 2, 0
+			}
+			setQueues(&links[heavy], 18, 3, 2, 1)
+			setQueues(&links[heavy+1], 12, 2, 3, 0)
+			setQueues(&links[light], 1, 0, 6, 2)
+			setQueues(&links[light+1], 0, 1, 4, 1)
+		}},
+		{"downstream-full", 200, func(step int, links []signal.LinkObs) {
+			// Phase 1's outgoing roads sit at capacity (the eq. 8 beta
+			// scenario); phase 2 is serviceable.
+			setQueues(&links[0], 16, 1, 40, 80)
+			setQueues(&links[1], 11, 0, 35, 85)
+			setQueues(&links[2], 6, 1, 3, 1)
+			setQueues(&links[3], 4, 0, 2, 0)
+		}},
+		{"noisy", 400, func(step int, links []signal.LinkObs) {
+			state := uint64(step)*2654435761 + 12345
+			for i := range links {
+				q := int(splitmix(&state) % 20)
+				it := int(splitmix(&state) % 6)
+				oq := int(splitmix(&state) % 15)
+				ox := int(splitmix(&state) % 30)
+				setQueues(&links[i], q, it, oq, ox)
+			}
+		}},
+	}
+}
+
+// drive runs a fresh controller from the factory over a script and
+// returns the decision trace. The observed Current feeds back the
+// previous decision, exactly like the engine.
+func drive(t *testing.T, f signal.Factory, info signal.JunctionInfo, sc script) []signal.Phase {
+	t.Helper()
+	ctrl, err := f.New(info)
+	if err != nil {
+		t.Fatalf("factory %s: New: %v", f.Name(), err)
+	}
+	obs := signal.Obs{Links: make([]signal.LinkObs, info.NumLinks)}
+	staticFill(obs.Links)
+	out := make([]signal.Phase, sc.steps)
+	cur := signal.Amber
+	for k := 0; k < sc.steps; k++ {
+		sc.fill(k, obs.Links)
+		obs.Step = k
+		obs.Time = float64(k) * info.DeltaT
+		obs.Current = cur
+		p := ctrl.Decide(&obs)
+		out[k] = p
+		cur = p
+	}
+	return out
+}
+
+// driveBatched runs the same script through the signal.Batched adapter
+// over a single-junction batch, change set maintained like the engine's.
+func driveBatched(t *testing.T, f signal.Factory, info signal.JunctionInfo, sc script) []signal.Phase {
+	t.Helper()
+	ctrl, err := f.New(info)
+	if err != nil {
+		t.Fatalf("factory %s: New: %v", f.Name(), err)
+	}
+	return driveBatchController(t, signal.Batched(ctrl), []signal.JunctionInfo{info}, []script{sc})[0]
+}
+
+// driveBatchController feeds per-junction scripts to a BatchController,
+// maintaining the batch exactly as the engine does: Current feeds back
+// the previous decisions, Decided is pre-filled with Amber, and the
+// change set lists the links whose observation differs from the
+// previous round (AllChanged on the first).
+func driveBatchController(t *testing.T, bc signal.BatchController, infos []signal.JunctionInfo, scs []script) [][]signal.Phase {
+	t.Helper()
+	if len(infos) != len(scs) {
+		t.Fatalf("driveBatchController: %d infos vs %d scripts", len(infos), len(scs))
+	}
+	total := 0
+	off := []int32{0}
+	steps := 0
+	for i, info := range infos {
+		total += info.NumLinks
+		off = append(off, int32(total))
+		if scs[i].steps > steps {
+			steps = scs[i].steps
+		}
+	}
+	b := signal.Batch{
+		Links:   make([]signal.LinkObs, total),
+		JuncOff: off,
+		Current: make([]signal.Phase, len(infos)),
+		Decided: make([]signal.Phase, len(infos)),
+		Infos:   infos,
+		Changed: make([]int32, 0, total),
+	}
+	staticFill(b.Links)
+	prev := make([]signal.LinkObs, total)
+	out := make([][]signal.Phase, len(infos))
+	for j := range out {
+		out[j] = make([]signal.Phase, steps)
+		b.Current[j] = signal.Amber
+	}
+	for k := 0; k < steps; k++ {
+		copy(prev, b.Links)
+		for j, sc := range scs {
+			step := k
+			if step >= sc.steps {
+				step = sc.steps - 1 // shorter scripts hold their last state
+			}
+			sc.fill(step, b.JunctionLinks(j))
+		}
+		b.Changed = b.Changed[:0]
+		b.AllChanged = k == 0
+		if !b.AllChanged {
+			for gl := range b.Links {
+				if b.Links[gl] != prev[gl] {
+					b.Changed = append(b.Changed, int32(gl))
+				}
+			}
+		}
+		b.Step = k
+		b.Time = float64(k) * infos[0].DeltaT
+		for j := range infos {
+			b.Decided[j] = signal.Amber
+		}
+		bc.DecideAll(&b)
+		for j := range infos {
+			out[j][k] = b.Decided[j]
+			b.Current[j] = b.Decided[j]
+		}
+	}
+	return out
+}
+
+// checkInRange fails on any decision outside [Amber, NumPhases] — the
+// range the engine actuates without coercion.
+func checkInRange(t *testing.T, trace []signal.Phase, info signal.JunctionInfo) {
+	t.Helper()
+	for k, p := range trace {
+		if p < signal.Amber || int(p) > info.NumPhases() {
+			t.Fatalf("step %d: decision %v outside [c0, c%d]", k, p, info.NumPhases())
+		}
+	}
+}
+
+// checkAmberInsertion fails when two distinct green phases are adjacent
+// or separated by fewer than minAmber amber slots.
+func checkAmberInsertion(t *testing.T, trace []signal.Phase, minAmber int) {
+	t.Helper()
+	lastGreen := signal.Amber
+	amberRun := 0
+	for k, p := range trace {
+		if p == signal.Amber {
+			amberRun++
+			continue
+		}
+		if lastGreen != signal.Amber && p != lastGreen {
+			switch {
+			case amberRun == 0:
+				t.Fatalf("step %d: direct switch %v -> %v without amber", k, lastGreen, p)
+			case amberRun < minAmber:
+				t.Fatalf("step %d: switch %v -> %v after %d amber slots, want >= %d",
+					k, lastGreen, p, amberRun, minAmber)
+			}
+		}
+		lastGreen = p
+		amberRun = 0
+	}
+}
+
+// checkMinGreen fails when a completed green run (ended by a phase
+// change, not by the end of the trace) is shorter than minGreen.
+func checkMinGreen(t *testing.T, trace []signal.Phase, minGreen int) {
+	t.Helper()
+	run := 0
+	cur := signal.Amber
+	for k, p := range trace {
+		if p == cur {
+			run++
+			continue
+		}
+		if cur != signal.Amber && run < minGreen {
+			t.Fatalf("step %d: green %v held only %d slots, want >= %d", k, cur, run, minGreen)
+		}
+		cur, run = p, 1
+	}
+}
+
+// equalTraces compares two decision traces.
+func equalTraces(a, b []signal.Phase) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// Run executes the conformance suite for one controller family: every
+// scripted scenario is checked for in-range decisions, replay
+// determinism, amber insertion and minimum green, and the same scenario
+// is replayed through the signal.Batched adapter — and, when the
+// factory implements signal.BatchFactory, through its batched
+// controller with an engine-faithful change set — requiring bit-for-bit
+// identical traces. A final subtest drives two controllers from the
+// same factory against different scripts to catch shared mutable state.
+func Run(t *testing.T, c Case) {
+	info := testJunction(c.Name)
+	scs := scripts()
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			trace := drive(t, c.Factory, info, sc)
+			checkInRange(t, trace, info)
+			if c.AmberSteps > 0 {
+				checkAmberInsertion(t, trace, c.AmberSteps)
+			}
+			if c.MinGreenSteps > 1 {
+				checkMinGreen(t, trace, c.MinGreenSteps)
+			}
+			if replay := drive(t, c.Factory, info, sc); !sameOrFatal(t, trace, replay, "replay") {
+				return
+			}
+			if adapted := driveBatched(t, c.Factory, info, sc); !sameOrFatal(t, trace, adapted, "batched adapter") {
+				return
+			}
+		})
+	}
+	if bf, ok := c.Factory.(signal.BatchFactory); ok {
+		t.Run("batch-factory", func(t *testing.T) {
+			// Three junctions on distinct scripts in one batch must each
+			// reproduce their isolated per-junction trace.
+			infos := []signal.JunctionInfo{
+				testJunction(c.Name + "-a"),
+				testJunction(c.Name + "-b"),
+				testJunction(c.Name + "-c"),
+			}
+			// Fill functions are pure in the step index, so the scripts
+			// can be re-cut to one shared length for the batch.
+			const batchSteps = 280
+			picked := []script{
+				{scs[1].name, batchSteps, scs[1].fill},
+				{scs[2].name, batchSteps, scs[2].fill},
+				{scs[4].name, batchSteps, scs[4].fill},
+			}
+			bc, err := bf.NewBatch(infos)
+			if err != nil {
+				t.Fatalf("NewBatch: %v", err)
+			}
+			traces := driveBatchController(t, bc, infos, picked)
+			for j := range infos {
+				solo := drive(t, c.Factory, infos[j], picked[j])
+				sameOrFatal(t, solo, traces[j], fmt.Sprintf("batch junction %d", j))
+			}
+		})
+	}
+	t.Run("independence", func(t *testing.T) {
+		// Two controllers from one factory, stepped in lockstep on
+		// different scripts, must match their isolated runs.
+		a, err := c.Factory.New(testJunction(c.Name + "-x"))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		b, err := c.Factory.New(testJunction(c.Name + "-y"))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		scA, scB := scs[1], scs[3]
+		steps := scA.steps
+		if scB.steps < steps {
+			steps = scB.steps
+		}
+		obsA := signal.Obs{Links: make([]signal.LinkObs, info.NumLinks)}
+		obsB := signal.Obs{Links: make([]signal.LinkObs, info.NumLinks)}
+		staticFill(obsA.Links)
+		staticFill(obsB.Links)
+		traceA := make([]signal.Phase, steps)
+		traceB := make([]signal.Phase, steps)
+		curA, curB := signal.Amber, signal.Amber
+		for k := 0; k < steps; k++ {
+			scA.fill(k, obsA.Links)
+			obsA.Step, obsA.Time, obsA.Current = k, float64(k), curA
+			curA = a.Decide(&obsA)
+			traceA[k] = curA
+			scB.fill(k, obsB.Links)
+			obsB.Step, obsB.Time, obsB.Current = k, float64(k), curB
+			curB = b.Decide(&obsB)
+			traceB[k] = curB
+		}
+		soloA := drive(t, c.Factory, testJunction(c.Name+"-x"), script{scA.name, steps, scA.fill})
+		soloB := drive(t, c.Factory, testJunction(c.Name+"-y"), script{scB.name, steps, scB.fill})
+		sameOrFatal(t, soloA, traceA, "interleaved controller A")
+		sameOrFatal(t, soloB, traceB, "interleaved controller B")
+	})
+}
+
+// sameOrFatal fails the test when two traces differ, reporting the
+// first divergence.
+func sameOrFatal(t *testing.T, want, got []signal.Phase, what string) bool {
+	t.Helper()
+	if i, ok := equalTraces(want, got); !ok {
+		if i < 0 {
+			t.Fatalf("%s: trace length %d, want %d", what, len(got), len(want))
+		}
+		t.Fatalf("%s: diverges at step %d: got %v, want %v", what, i, got[i], want[i])
+		return false
+	}
+	return true
+}

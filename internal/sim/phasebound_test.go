@@ -17,7 +17,7 @@ import (
 // scriptedController replays a fixed phase, whatever the observation.
 type scriptedController struct{ phase signal.Phase }
 
-func (c *scriptedController) Name() string                  { return "scripted" }
+func (c *scriptedController) Name() string                    { return "scripted" }
 func (c *scriptedController) Decide(*signal.Obs) signal.Phase { return c.phase }
 
 func TestControlCoercesOutOfRangePhases(t *testing.T) {
