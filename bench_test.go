@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"utilbp/internal/core"
+	"utilbp/internal/event"
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
@@ -362,7 +363,7 @@ func BenchmarkEngineSteps(b *testing.B) {
 // enforced by TestSpawnPathAllocs and TestStepOnceSteadyStateAllocs and
 // gated in CI — is exactly 0 B/op and 0 allocs/op with traffic flowing
 // and vehicles spawning every measured step.
-func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, nil) }
+func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, benchSetup(), nil) }
 
 // BenchmarkStepOnceSensed is BenchmarkStepOnce with the sensing layer
 // explicitly engaged: the sensing.Perfect sensor installed, so every
@@ -370,14 +371,32 @@ func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, nil) }
 // into the separate observation array. Gated in CI at 0 B/op and
 // 0 allocs/op alongside the sensor-free benchmark — the sensing layer
 // must not reintroduce heap traffic on the hot path.
-func BenchmarkStepOnceSensed(b *testing.B) { stepOnceBench(b, sensing.Perfect{}) }
+func BenchmarkStepOnceSensed(b *testing.B) { stepOnceBench(b, benchSetup(), sensing.Perfect{}) }
+
+// BenchmarkStepOnceDisrupted is BenchmarkStepOnce with an armed
+// disruption schedule: a mid-run capacity incident, a dark junction and
+// a demand surge (DESIGN.md §12). Gated in CI at 0 B/op and
+// 0 allocs/op alongside its siblings — applying and reverting scheduled
+// transitions must not reintroduce heap traffic on the hot path (queue
+// reservations stay sized to the pre-disruption capacity; the schedule
+// is immutable and replayed by cursor).
+func BenchmarkStepOnceDisrupted(b *testing.B) {
+	setup, err := benchSetup().WithCentralIncident(400, 600, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup.Events = append(setup.Events,
+		event.Dark("J00", 800, 300),
+		event.Surge(300, 900, 1.3),
+	)
+	stepOnceBench(b, setup, nil)
+}
 
 // stepOnceBench is the shared warm-and-replay body of the StepOnce
 // benchmarks.
-func stepOnceBench(b *testing.B, sensor sensing.Sensor) {
+func stepOnceBench(b *testing.B, setup Setup, sensor sensing.Sensor) {
 	b.Helper()
 	const horizon = 2000
-	setup := benchSetup()
 	built, err := setup.Build(scenario.PatternI)
 	if err != nil {
 		b.Fatal(err)
@@ -392,6 +411,7 @@ func stepOnceBench(b *testing.B, sensor sensing.Sensor) {
 		Router:           built.Router,
 		Routes:           built.Routes,
 		Sensor:           sensor,
+		Events:           built.Events,
 		ExpectedVehicles: built.ExpectedVehicles(horizon),
 	})
 	if err != nil {

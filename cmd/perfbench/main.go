@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -56,6 +57,7 @@ type Report struct {
 	Sensing    []SensorStepReport  `json:"sensing,omitempty"`
 	Control    []ControlStepReport `json:"control,omitempty"`
 	Sweeps     []SweepTime         `json:"sweeps"`
+	Robustness []RobustnessReport  `json:"robustness,omitempty"`
 	EngineHeap []HeapReport        `json:"engine_heap,omitempty"`
 }
 
@@ -75,9 +77,11 @@ type StepReport struct {
 }
 
 // PhaseSplit is the per-step wall time of each mini-slot substep:
-// sense (incremental observation maintenance + sensor model), control
-// (controller decisions), serve, travel completion and arrivals.
+// events (disruption-schedule transitions), sense (incremental
+// observation maintenance + sensor model), control (controller
+// decisions), serve, travel completion and arrivals.
 type PhaseSplit struct {
+	EventsNs   float64 `json:"events_ns"`
 	SenseNs    float64 `json:"sense_ns"`
 	ControlNs  float64 `json:"control_ns"`
 	ServeNs    float64 `json:"serve_ns"`
@@ -116,6 +120,39 @@ type SweepTime struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// RobustnessRow is one (controller family × incident severity) point of
+// the throughput-vs-capacity-loss curve (experiment.RobustnessSweep).
+type RobustnessRow struct {
+	Family         string  `json:"family"`
+	CapFrac        float64 `json:"cap_frac"`
+	MeanWaitSec    float64 `json:"mean_wait_sec"`
+	MeanThroughput float64 `json:"mean_throughput"`
+	DegradationPct float64 `json:"degradation_pct"`
+}
+
+// RobustnessReport is the disruption-robustness measurement for one
+// workload: the throughput-vs-capacity-loss curve across controller
+// families, plus the queue-recovery metric of a worst-severity incident
+// run under UTIL-BP (experiment.MeasureRecovery) — recovery_sec is the
+// post-clearance drain time, -1 when the queues never returned to their
+// onset level within the horizon (DESIGN.md §12).
+type RobustnessReport struct {
+	Workload   string          `json:"workload"`
+	HorizonSec float64         `json:"horizon_sec"`
+	Seeds      int             `json:"seeds"`
+	Rows       []RobustnessRow `json:"rows"`
+	// The recovery probe runs at a stable operating point — demand
+	// scaled down so queues are stationary before the onset — because
+	// "drained back to the onset level" is only meaningful when the
+	// onset level is an equilibrium, not a point on a growth curve.
+	RecoveryDemandScale float64 `json:"recovery_demand_scale"`
+	RecoveryHorizonSec  float64 `json:"recovery_horizon_sec"`
+	OnsetQueued         int     `json:"recovery_onset_queued"`
+	PeakQueued          int     `json:"recovery_peak_queued"`
+	RecoverySec         float64 `json:"recovery_sec"`
+	WallSeconds         float64 `json:"wall_seconds"`
+}
+
 // HeapReport is the per-engine memory footprint of one workload: the
 // heap bytes one simulation engine retains when built on a shared
 // scenario artifact (arena pre-sized for the pattern horizon, lane rings
@@ -147,6 +184,7 @@ func main() {
 		sense     = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
 		ctrlModes = flag.Bool("control-modes", true, "measure the control substep per dispatch mode (per-junction vs batched) on the paper and city grids")
 		wlDur     = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
+		robust    = flag.Bool("robustness", true, "measure throughput under capacity loss and post-incident recovery on the paper and city grids")
 		heap      = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
 	flag.Parse()
@@ -298,6 +336,26 @@ func main() {
 			})
 			fmt.Printf("workload_%s: %.3fs (%d seeds x %d periods + UTIL runs @ %.0fs)\n",
 				w.Name, wall, len(seedList), len(periods), horizon)
+		}
+	}
+
+	if *robust {
+		for _, name := range []string{"paper-grid", "city-grid"} {
+			w, ok := scenario.WorkloadByName(name)
+			if !ok {
+				continue
+			}
+			rr, err := measureRobustness(w, seedList)
+			if err != nil {
+				fatal(err)
+			}
+			report.Robustness = append(report.Robustness, rr)
+			rec := fmt.Sprintf("recovered %.0fs after clearance", rr.RecoverySec)
+			if rr.RecoverySec < 0 {
+				rec = "not recovered within horizon"
+			}
+			fmt.Printf("robustness %s: %d rows, onset %d peak %d queued, %s (%.3fs)\n",
+				name, len(rr.Rows), rr.OnsetQueued, rr.PeakQueued, rec, rr.WallSeconds)
 		}
 	}
 
@@ -488,6 +546,81 @@ func measureSensing(workload, label string, spec sensing.Spec, explicit bool, se
 	return SensorStepReport{Workload: workload, Sensor: label, StepReport: rep}, nil
 }
 
+// measureRobustness runs the disruption-robustness experiment for one
+// workload: the pooled RobustnessSweep over the default severity axis
+// (throughput-vs-capacity-loss per controller family), then one
+// worst-severity incident run under UTIL-BP measuring how long the
+// network queues take to drain back to their onset level after the
+// incident clears.
+func measureRobustness(w scenario.Workload, seeds []uint64) (RobustnessReport, error) {
+	// The robustness sweep ignores the workload's shortened sweep
+	// horizon: the incident spans the middle half of the run, and on
+	// the 16×16 grid a 300 s horizon is all fill transient — the
+	// central approach never carries enough traffic for a clamp to
+	// bind. 900 s puts the incident onto a loaded network.
+	horizon := math.Max(w.SweepHorizon(900), 900)
+	capFracs := experiment.DefaultCapFracs()
+	start := time.Now()
+	rows, err := experiment.RobustnessSweep(w.Setup, w.Pattern, capFracs, seeds, horizon)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	rep := RobustnessReport{
+		Workload:   w.Name,
+		HorizonSec: horizon,
+		Seeds:      len(seeds),
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, RobustnessRow{
+			Family:         string(r.Family),
+			CapFrac:        r.CapFrac,
+			MeanWaitSec:    r.Mean,
+			MeanThroughput: r.MeanThroughput,
+			DegradationPct: r.DegradationPct,
+		})
+	}
+	worst := capFracs[0]
+	for _, f := range capFracs {
+		if f < worst {
+			worst = f
+		}
+	}
+	// Recovery is probed at a stable operating point — uniform Pattern
+	// II demand at 0.6× the workload's scale, with the onset at
+	// mid-horizon so the fill transient (which runs ~1000 s on the
+	// 16×16 grid) has settled — because "drained back to the onset
+	// level" is only meaningful when the onset level is an equilibrium.
+	// The incident spans an eighth of the horizon; the drain gets the
+	// remaining 3/8.
+	recHorizon := math.Max(2*horizon, 2400)
+	base := w.Setup
+	if base.DemandScale == 0 {
+		base.DemandScale = 1
+	}
+	base.DemandScale *= 0.6
+	setup, err := base.WithCentralIncident(recHorizon/2, recHorizon/8, worst)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	setup.Seed = seeds[0]
+	rec, err := experiment.MeasureRecovery(experiment.Spec{
+		Setup:       setup,
+		Pattern:     scenario.PatternII,
+		Factory:     setup.UtilBP(),
+		DurationSec: recHorizon,
+	})
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	rep.RecoveryDemandScale = base.DemandScale
+	rep.RecoveryHorizonSec = recHorizon
+	rep.OnsetQueued = rec.OnsetQueued
+	rep.PeakQueued = rec.PeakQueued
+	rep.RecoverySec = rec.RecoverySec
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
 // heapNow returns the live heap after a GC cycle.
 func heapNow() uint64 {
 	runtime.GC()
@@ -546,6 +679,7 @@ func phaseSplit(engine *sim.Engine, steps int) *PhaseSplit {
 	engine.RunTimed(steps, &pt)
 	per := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(steps) }
 	return &PhaseSplit{
+		EventsNs:   per(pt.Events),
 		SenseNs:    per(pt.Sense),
 		ControlNs:  per(pt.Control),
 		ServeNs:    per(pt.Serve),

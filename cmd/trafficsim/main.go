@@ -11,6 +11,7 @@
 //	trafficsim -workload arterial-corridor -controller util
 //	trafficsim -workload estimated-grid -sensor loop
 //	trafficsim -workload city-grid -control per-junction
+//	trafficsim -events "incident:link=J00->J01,t0=600,dur=300,cap=0.5;surge:t0=600,dur=900,scale=1.5"
 //	trafficsim -list-workloads
 package main
 
@@ -21,6 +22,7 @@ import (
 
 	"utilbp/internal/cli"
 	"utilbp/internal/config"
+	"utilbp/internal/event"
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
@@ -48,14 +50,19 @@ func main() {
 		workload    = flag.String("workload", "", "registered workload providing pattern and grid defaults; explicit -rows/-cols/-capacity still apply (see -list-workloads)")
 		listWk      = flag.Bool("list-workloads", false, "list the registered workloads and exit")
 		sensorFlag  = flag.String("sensor", "", "observation sensor: perfect | loop | cv:<rate> (default: the workload's sensor, else perfect)")
+		eventsFlag  = flag.String("events", "", "disruption schedule, ';'-separated event specs (see internal/event); REPLACES the workload's schedule — pass '' to run a disrupted workload clean")
 		controlFlag = flag.String("control", "", "controller dispatch mode: auto | per-junction | batched (default auto: batched when the controller supports it)")
 	)
 	flag.Parse()
 
 	if *listWk {
 		for _, w := range scenario.Workloads() {
-			fmt.Printf("%-18s %d×%d grid, pattern %-5v sensor %-8s — %s\n",
-				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Setup.Sensor, w.Description)
+			events := event.Summarize(w.Setup.Events)
+			if events == "" {
+				events = "—"
+			}
+			fmt.Printf("%-18s %d×%d grid, pattern %-5v sensor %-8s events %-18s — %s\n",
+				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Setup.Sensor, events, w.Description)
 		}
 		return
 	}
@@ -132,6 +139,18 @@ func main() {
 		}
 		setup.Control = mode
 	}
+	// -events replaces the setup's schedule rather than appending to it,
+	// so an explicitly empty -events runs a disrupted workload clean.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "events" {
+			return
+		}
+		specs, err := event.ParseSpecs(*eventsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		setup.Events = specs
+	})
 
 	factory, err := cli.PickFactory(setup, *controller, *period)
 	if err != nil {

@@ -35,6 +35,7 @@ var strictPkgs = map[string]bool{
 	"internal/sensing":    true,
 	"internal/signal":     true,
 	"internal/rng":        true,
+	"internal/event":      true,
 }
 
 func main() {

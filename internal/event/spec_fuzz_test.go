@@ -1,0 +1,65 @@
+package event
+
+import "testing"
+
+// FuzzParseSpec fuzzes the ParseSpec/Spec.String round trip: any input
+// ParseSpec accepts must validate, render through String, re-parse to
+// an identical Spec value, and reach a fixed point — the property the
+// CLI, the workload registry and the robustness sweep axes rely on when
+// they treat event specs as comparable, printable values. The seed
+// corpus in testdata/fuzz/FuzzParseSpec covers every kind plus
+// near-miss inputs (NaN, negatives, unknown fields).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"incident:link=J00->J01,t0=300,dur=120,cap=0.5",
+		"incident:link=in-North-J00,t0=0,dur=1,cap=1",
+		"incident:link=a,t0=1e2,dur=0.5,cap=0.25",
+		"dark:junction=J11,t0=60,dur=90",
+		"dark:junction=J00,t0=0,dur=30,green=12,amber=3,allred=8",
+		"DARK:JUNCTION=J11,T0=60,DUR=90",
+		"outage:link=J00->J01,t0=100,dur=50",
+		"outage:link=J00->J01,t0=100,dur=50,mode=freeze",
+		"outage:link=J00->J01,t0=100,dur=50,mode=blank",
+		"surge:t0=0,dur=600,scale=1.5",
+		"surge:t0=100,dur=10,scale=0.25",
+		" incident:link=x,t0=1,dur=1,cap=0.5 ",
+		"incident:link=x,t0=NaN,dur=1,cap=0.5",
+		"incident:link=x,t0=1,dur=-1,cap=0.5",
+		"incident:link=x,t0=1,dur=1,cap=0",
+		"incident:link=x,t0=1,dur=1,cap=2",
+		"surge:t0=1,dur=1,scale=NaN",
+		"surge:t0=1,dur=1,scale=-2",
+		"surge:link=x,t0=1,dur=1,scale=2",
+		"dark:junction=J00,t0=1,dur=1,cap=0.5",
+		"outage:link=x,t0=1,dur=1,mode=bogus",
+		"incident",
+		"incident:",
+		"bogus:link=x,t0=1,dur=1",
+		"incident:link=,t0=1,dur=1,cap=0.5",
+		"incident:link=a=b,t0=1,dur=1,cap=0.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, arg string) {
+		spec, err := ParseSpec(arg)
+		if err != nil {
+			return // rejected inputs are out of contract
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %+v: %v", arg, spec, err)
+		}
+		rendered := spec.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) -> %+v renders %q, which does not re-parse: %v", arg, spec, rendered, err)
+		}
+		// Specs are comparable values and String is canonical, so the
+		// round trip must be exact and a fixed point.
+		if back != spec {
+			t.Fatalf("round trip of %q changed the spec: %+v -> %+v", arg, spec, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point for %q: %q -> %q", arg, rendered, again)
+		}
+	})
+}

@@ -149,6 +149,7 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 			Routes:           inst.Routes,
 			Sensor:           sensor,
 			Control:          mode,
+			Events:           inst.Events,
 			ExpectedVehicles: inst.ExpectedVehicles(duration),
 		})
 		if err != nil {
@@ -161,9 +162,10 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 	// was built for another pattern of the same grid: road IDs are dense
 	// and the builder is deterministic, so structurally identical grids
 	// agree on every ID the demand, router and route table use. The
-	// sensor and the controller dispatch mode are swapped the same way,
-	// so one engine serves cells with different observation models and
-	// control modes without leaking either across cells.
+	// sensor, the controller dispatch mode and the disruption schedule
+	// are swapped the same way, so one engine serves cells with
+	// different observation models, control modes and event schedules
+	// without leaking any of them across cells.
 	if err := engine.ResetWith(seed, sim.ResetOptions{
 		Controllers: factory,
 		Demand:      inst.Demand,
@@ -173,6 +175,8 @@ func (c *EngineCache) run(inst *scenario.Instance, pattern scenario.Pattern, fam
 		ClearSensor: sensor == nil,
 		Control:     mode,
 		SetControl:  true,
+		Events:      inst.Events,
+		ClearEvents: inst.Events == nil,
 	}); err != nil {
 		return Result{}, err
 	}

@@ -65,6 +65,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Instance, float64, error) {
 		Routes:           built.Routes,
 		Sensor:           built.Sensor,
 		Control:          built.Setup.Control,
+		Events:           built.Events,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
 		ExpectedVehicles: built.ExpectedVehicles(duration),

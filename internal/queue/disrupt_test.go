@@ -1,0 +1,140 @@
+package queue
+
+import "testing"
+
+// TestLaneClampChurnKeepsFIFOAndStorage models an incident clamping a
+// road's effective capacity (internal/event): the lane stays reserved at
+// the pre-disruption link capacity while admission is throttled, so
+// churning the queue across the clamp — occupancy dropping to the
+// reduced level, the head wrapping around the ring, then refilling to
+// the full bound after the revert — must preserve FIFO order and never
+// touch the ring storage.
+func TestLaneClampChurnKeepsFIFOAndStorage(t *testing.T) {
+	const full, reduced = 48, 19
+	var l Lane
+	l.Reserve(full)
+	ringCap := l.Cap()
+	next, expect := 0, 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			l.Push(next, float64(next))
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			it, ok := l.Pop()
+			if !ok {
+				t.Fatalf("pop %d: lane empty", expect)
+			}
+			if it.Vehicle != expect || it.EnqueuedAt != float64(expect) {
+				t.Fatalf("FIFO broken: got vehicle %d (at %v), want %d", it.Vehicle, it.EnqueuedAt, expect)
+			}
+			expect++
+		}
+	}
+
+	push(full) // pre-incident: loaded to the bound
+	// Incident window: drain to the reduced level, then churn at that
+	// level long enough to wrap the head past the ring boundary many
+	// times over.
+	pop(full - reduced)
+	for round := 0; round < 10; round++ {
+		pop(reduced)
+		push(reduced)
+	}
+	// Revert: refill to the pre-disruption bound and drain completely.
+	push(full - reduced)
+	pop(full)
+	if l.Len() != 0 {
+		t.Fatalf("lane not empty after drain: %d", l.Len())
+	}
+	if l.Cap() != ringCap {
+		t.Fatalf("ring storage changed across the clamp: cap %d -> %d", ringCap, l.Cap())
+	}
+}
+
+// TestLaneClampChurnAllocs is the allocation half of the contract: the
+// clamp-churn-revert cycle above runs without a single heap allocation
+// once the ring is reserved, no matter where the head sits when the
+// cycle starts.
+func TestLaneClampChurnAllocs(t *testing.T) {
+	const full, reduced = 48, 19
+	var l Lane
+	l.Reserve(full)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < full; i++ {
+			l.Push(i, 0)
+		}
+		for i := 0; i < full-reduced; i++ {
+			l.Pop()
+		}
+		for round := 0; round < 4; round++ {
+			for i := 0; i < reduced; i++ {
+				l.Pop()
+				l.Push(i, 1)
+			}
+		}
+		for l.Len() > 0 {
+			l.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clamp churn allocates: %v allocs per cycle, want 0", allocs)
+	}
+}
+
+// TestTravelClampChurnKeepsOrderAndStorage is the Travel counterpart:
+// the in-transit heap stays reserved at the road's pre-disruption
+// capacity, and cycling it between the reduced and full occupancy
+// levels must keep arrivals draining in time order without growing the
+// backing array.
+func TestTravelClampChurnKeepsOrderAndStorage(t *testing.T) {
+	const full, reduced = 48, 19
+	var tr Travel
+	tr.Reserve(full)
+	clock := 0.0
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			clock++
+			tr.Add(int(clock), clock)
+		}
+	}
+	lastAt := 0.0
+	drain := func(n int) {
+		for i := 0; i < n; i++ {
+			a, ok := tr.PopDue(clock + 1)
+			if !ok {
+				t.Fatal("heap empty mid-drain")
+			}
+			if a.At < lastAt {
+				t.Fatalf("time order broken: popped %v after %v", a.At, lastAt)
+			}
+			lastAt = a.At
+		}
+	}
+
+	add(full)
+	drain(full - reduced)
+	for round := 0; round < 10; round++ {
+		drain(reduced)
+		add(reduced)
+	}
+	add(full - reduced)
+	drain(full)
+	if tr.Len() != 0 {
+		t.Fatalf("heap not empty after drain: %d", tr.Len())
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < full; i++ {
+			tr.Add(i, float64(i))
+		}
+		for tr.Len() > 0 {
+			tr.PopDue(float64(full))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reserved Travel churn allocates: %v allocs per cycle, want 0", allocs)
+	}
+}

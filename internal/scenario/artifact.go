@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"utilbp/internal/event"
 	"utilbp/internal/network"
 	"utilbp/internal/rng"
 	"utilbp/internal/sensing"
@@ -35,6 +36,14 @@ type Artifact struct {
 	Setup Setup
 	// Pattern is the demand pattern the artifact was built for.
 	Pattern Pattern
+	// Events is the disruption schedule compiled from Setup.Events
+	// against this grid (internal/event, DESIGN.md §12), nil for an
+	// undisrupted scenario. Like everything else here it is immutable
+	// and shared by reference: engines arm it per run via
+	// sim.Config.Events. Demand surges are already woven into Rate and
+	// sensor outages into each instance's Sensor, so callers only wire
+	// the schedule itself to the engine.
+	Events *event.Schedule
 	// routes is the router's precomputed interned-ID layout.
 	routes *routeIndex
 }
@@ -76,6 +85,16 @@ func (s Setup) BuildArtifact(pattern Pattern) (*Artifact, error) {
 		scale := s.DemandScale
 		rate = func(r network.RoadID, t float64) float64 { return scale * base(r, t) }
 	}
+	// Engines step at the default mini-slot of 1 s throughout this
+	// stack; the schedule's step grid must match (sim.New verifies).
+	events, err := event.Compile(g.Network, 1, s.Events)
+	if err != nil {
+		return nil, err
+	}
+	// Surge windows wrap the rate after DemandScale, so the artifact's
+	// Rate — and everything integrating it, like ExpectedVehicles —
+	// already includes the surged demand.
+	rate = events.WrapRate(rate)
 	table := vehicle.NewRouteTable()
 	return &Artifact{
 		Grid:     g,
@@ -84,6 +103,7 @@ func (s Setup) BuildArtifact(pattern Pattern) (*Artifact, error) {
 		Duration: pattern.Duration(),
 		Setup:    s,
 		Pattern:  pattern,
+		Events:   events,
 		routes:   buildRouteIndex(g, s.TurnProbs, table),
 	}, nil
 }
@@ -103,6 +123,12 @@ func (a *Artifact) Instantiate() *Instance {
 	if !a.Setup.Sensor.Perfect() {
 		// The spec was validated at BuildArtifact; New cannot fail here.
 		sensor, _ = a.Setup.Sensor.New()
+	}
+	// Scheduled sensor outages wrap the per-run sensor (promoting a
+	// perfect scenario onto an explicit sensing.Perfect, since the
+	// engine's sensor-free fast path has nothing to intercept).
+	sensor = a.Events.WrapSensor(sensor)
+	if sensor != nil {
 		sensor.Reseed(a.Setup.Seed)
 	}
 	return &Instance{

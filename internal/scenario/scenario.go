@@ -16,6 +16,7 @@ import (
 
 	"utilbp/internal/bp"
 	"utilbp/internal/core"
+	"utilbp/internal/event"
 	"utilbp/internal/fixedtime"
 	"utilbp/internal/network"
 	"utilbp/internal/sensing"
@@ -191,6 +192,14 @@ type Setup struct {
 	// loop. The two are pinned bit-for-bit equal — the axis exists so
 	// sweeps and perfbench can compare their cost.
 	Control signal.ControlMode
+	// Events are the declarative disruption specs of the scenario
+	// (internal/event, DESIGN.md §12): incidents, junction dark-mode,
+	// sensor outages and demand surges, all scheduled in seconds.
+	// BuildArtifact compiles them against the grid into the artifact's
+	// immutable Schedule; empty means an undisrupted run. Disruptions
+	// are deterministic scenario structure, not randomness — the same
+	// setup replays the same faults on every seed.
+	Events []event.Spec
 }
 
 // Default returns the paper's Section V setup. The physical saturation
@@ -334,6 +343,32 @@ func (s Setup) OrigBP(periodSec int) signal.Factory {
 func (s Setup) FixedTime(greenSec int) signal.Factory {
 	s = s.withDefaults()
 	return fixedtime.Factory(fixedtime.Options{GreenSteps: greenSec, AmberSteps: s.AmberSec})
+}
+
+// WithCentralIncident returns a copy of the setup carrying one
+// capacity-drop incident on the plotted east approach of the grid's
+// top-right junction (the road Figures 3-5 watch): for [t0, t0+dur)
+// seconds its capacity falls to capFrac of nominal. It is the shared
+// severity knob behind RobustnessSweep and the city-grid-incident
+// workload — one named disrupted road per grid, derived from geometry
+// instead of hard-coded names.
+func (s Setup) WithCentralIncident(t0, dur, capFrac float64) (Setup, error) {
+	s = s.withDefaults()
+	g, err := network.Grid(s.Grid)
+	if err != nil {
+		return Setup{}, err
+	}
+	rid := EastApproach(g, TopRight(g))
+	if rid == network.NoRoad {
+		return Setup{}, fmt.Errorf("scenario: grid %dx%d has no east approach at the top-right junction",
+			s.Grid.Rows, s.Grid.Cols)
+	}
+	spec := event.Incident(g.Road(rid).Name, t0, dur, capFrac)
+	if err := spec.Validate(); err != nil {
+		return Setup{}, err
+	}
+	s.Events = append(append([]event.Spec(nil), s.Events...), spec)
+	return s, nil
 }
 
 // TopRight returns the north-eastern junction the paper plots in

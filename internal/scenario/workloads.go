@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"utilbp/internal/event"
 	"utilbp/internal/sensing"
 )
 
@@ -135,6 +136,21 @@ func init() {
 		Setup:           gridSetup(8, 8),
 		Pattern:         PatternIV,
 		SweepHorizonSec: 450,
+	})
+	disrupted, err := gridSetup(16, 16).WithCentralIncident(60, 120, 0.4)
+	if err != nil {
+		panic(err)
+	}
+	disrupted.Events = append(disrupted.Events,
+		event.Dark("J00", 150, 90),
+		event.Surge(60, 180, 1.5),
+	)
+	MustRegisterWorkload(Workload{
+		Name:            "city-grid-incident",
+		Description:     "the 16×16 city grid with a mid-run capacity incident, a dark junction and a demand surge — the out-of-the-box disrupted scenario (DESIGN.md §12)",
+		Setup:           disrupted,
+		Pattern:         PatternII,
+		SweepHorizonSec: 300,
 	})
 	estimated := Default()
 	estimated.Sensor = sensing.CV(0.3)

@@ -1,0 +1,76 @@
+package signal
+
+import "fmt"
+
+// DarkPolicy is the degraded-dispatch rule a junction falls back to when
+// its controller goes offline (a "dark mode" disruption, DESIGN.md §12):
+// first AllRedSteps mini-slots of amber (the all-red clearance interval a
+// cabinet in flash presents), then a fixed-time round-robin cycling the
+// junction's control phases with GreenSteps of green followed by
+// AmberSteps of amber each. The policy is a pure function of the number
+// of mini-slots since the dark onset, so per-junction and batched
+// dispatch apply it identically and replays are bit-for-bit.
+//
+// The engine keeps the policy in force past the scheduled end of the
+// dark window until the in-flight green/amber segment completes
+// (ReleaseStep), so control is always handed back out of a full amber
+// run — the recovering controller sees Current == Amber and cannot be
+// forced into a direct green-to-green switch. Choose AllRedSteps at
+// least as long as the controllers' amber time to keep the amber
+// invariant across the onset too.
+type DarkPolicy struct {
+	// AllRedSteps is the initial amber hold after the dark onset.
+	AllRedSteps int
+	// GreenSteps and AmberSteps shape the fixed-time segments that
+	// follow: each control phase in turn holds green for GreenSteps,
+	// then amber for AmberSteps.
+	GreenSteps, AmberSteps int
+}
+
+// Validate rejects degenerate policies: the fixed-time green must be
+// positive and the holds non-negative (a zero AmberSteps would hand
+// control back mid-green and allow a direct phase switch).
+func (p DarkPolicy) Validate() error {
+	if p.AllRedSteps < 0 {
+		return fmt.Errorf("signal: dark policy all-red %d steps is negative", p.AllRedSteps)
+	}
+	if p.GreenSteps < 1 {
+		return fmt.Errorf("signal: dark policy green %d steps, want >= 1", p.GreenSteps)
+	}
+	if p.AmberSteps < 1 {
+		return fmt.Errorf("signal: dark policy amber %d steps, want >= 1", p.AmberSteps)
+	}
+	return nil
+}
+
+// segment returns the length of one green+amber fixed-time segment.
+func (p DarkPolicy) segment() int { return p.GreenSteps + p.AmberSteps }
+
+// Phase returns the phase the policy applies `since` mini-slots after
+// the dark onset, for a junction with numPhases control phases.
+func (p DarkPolicy) Phase(since, numPhases int) Phase {
+	if since < p.AllRedSteps || numPhases <= 0 {
+		return Amber
+	}
+	d := since - p.AllRedSteps
+	seg := p.segment()
+	if d%seg < p.GreenSteps {
+		return Phase(d/seg%numPhases + 1)
+	}
+	return Amber
+}
+
+// ReleaseStep returns the step at which the engine hands control back to
+// the junction's controller for a dark window [onset, end): the first
+// segment boundary at or after end, so the policy's in-flight green and
+// its amber always complete. A window ending inside the initial all-red
+// releases when the all-red does.
+func (p DarkPolicy) ReleaseStep(onset, end int) int {
+	start := onset + p.AllRedSteps
+	if end <= start {
+		return start
+	}
+	seg := p.segment()
+	segments := (end - start + seg - 1) / seg
+	return start + segments*seg
+}

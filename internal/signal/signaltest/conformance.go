@@ -1,9 +1,10 @@
 // Package signaltest is a reusable conformance suite for
 // signal.Controller implementations: a table of contract invariants —
 // in-range decisions, replay determinism, amber insertion between
-// distinct greens, minimum green holding, factory independence, and
-// batched-dispatch equivalence — driven over a set of scripted
-// observation scenarios. Controller packages (internal/core,
+// distinct greens, minimum green holding, factory independence,
+// batched-dispatch equivalence, and dark-mode fallback/recovery (the
+// engine-side override of DESIGN.md §12) — driven over a set of
+// scripted observation scenarios. Controller packages (internal/core,
 // internal/bp, internal/fixedtime) run their factories through Run, so
 // third-party controllers get the engine's expectations as an
 // executable checklist instead of prose (DESIGN.md §6, §11).
@@ -127,6 +128,69 @@ func scripts() []script {
 				setQueues(&links[i], q, it, oq, ox)
 			}
 		}},
+	}
+}
+
+// driveDark runs a script with the engine's dark-mode override applied
+// between onset and the policy's release boundary (DESIGN.md §12): the
+// controller keeps deciding every slot, but inside the window its
+// decision is discarded and the degraded policy's phase actuates — and
+// feeds back as the observed Current — exactly as sim.Engine does at
+// its shared actuation point. The returned trace is the applied one.
+func driveDark(t *testing.T, f signal.Factory, info signal.JunctionInfo, sc script, pol signal.DarkPolicy, onset, end int) []signal.Phase {
+	t.Helper()
+	ctrl, err := f.New(info)
+	if err != nil {
+		t.Fatalf("factory %s: New: %v", f.Name(), err)
+	}
+	release := pol.ReleaseStep(onset, end)
+	obs := signal.Obs{Links: make([]signal.LinkObs, info.NumLinks)}
+	staticFill(obs.Links)
+	out := make([]signal.Phase, sc.steps)
+	cur := signal.Amber
+	for k := 0; k < sc.steps; k++ {
+		sc.fill(k, obs.Links)
+		obs.Step = k
+		obs.Time = float64(k) * info.DeltaT
+		obs.Current = cur
+		p := ctrl.Decide(&obs)
+		if k >= onset && k < release {
+			p = pol.Phase(k-onset, info.NumPhases())
+		}
+		out[k] = p
+		cur = p
+	}
+	return out
+}
+
+// checkMinGreenAcrossDark is checkMinGreen with the two dark-mode
+// exemptions: the green in progress at onset is truncated by the
+// override (the engine cuts it to all-red unconditionally — safety
+// outranks the hold), and the first green after release may run short
+// because the controller's hold state advanced against the overridden
+// phases. Every other completed run, including the fixed-time greens
+// inside the window, must still satisfy the hold.
+func checkMinGreenAcrossDark(t *testing.T, trace []signal.Phase, minGreen, onset, release int) {
+	t.Helper()
+	run, start := 0, 0
+	cur := signal.Amber
+	firstResumed := true
+	for k, p := range trace {
+		if p == cur {
+			run++
+			continue
+		}
+		if cur != signal.Amber && run < minGreen {
+			truncated := start < onset && k >= onset
+			first := start >= release && firstResumed
+			if !truncated && !first {
+				t.Fatalf("step %d: green %v held only %d slots, want >= %d", k, cur, run, minGreen)
+			}
+		}
+		if cur != signal.Amber && start >= release {
+			firstResumed = false
+		}
+		cur, run, start = p, 1, k
 	}
 }
 
@@ -358,6 +422,56 @@ func Run(t *testing.T, c Case) {
 			}
 		})
 	}
+	t.Run("dark-mode", func(t *testing.T) {
+		// The policy the robustness events arm: all-red strictly longer
+		// than the family's amber requirement, fixed-time greens no
+		// shorter than its hold, ambers at least the family's.
+		pol := signal.DarkPolicy{
+			AllRedSteps: c.AmberSteps + 2,
+			GreenSteps:  max(c.MinGreenSteps, 12),
+			AmberSteps:  max(c.AmberSteps, 2),
+		}
+		if err := pol.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The alternating script forces transitions on both sides of the
+		// window, so fallback and recovery both happen under pressure.
+		sc := scripts()[2]
+		const onset, end = 81, 151
+		release := pol.ReleaseStep(onset, end)
+		if release >= sc.steps-60 {
+			t.Fatalf("release %d leaves no recovery window in a %d-step script", release, sc.steps)
+		}
+		trace := driveDark(t, c.Factory, info, sc, pol, onset, end)
+		checkInRange(t, trace, info)
+		for k := onset; k < release; k++ {
+			if want := pol.Phase(k-onset, info.NumPhases()); trace[k] != want {
+				t.Fatalf("step %d: applied %v inside the dark window, policy says %v", k, trace[k], want)
+			}
+		}
+		if c.AmberSteps > 0 {
+			// Amber insertion has no exemption: the all-red entry and the
+			// policy's own amber tail must cover every transition,
+			// including fallback and handback.
+			checkAmberInsertion(t, trace, c.AmberSteps)
+		}
+		if c.MinGreenSteps > 1 {
+			checkMinGreenAcrossDark(t, trace, c.MinGreenSteps, onset, release)
+		}
+		resumed := false
+		for k := release; k < sc.steps; k++ {
+			if trace[k] != signal.Amber {
+				resumed = true
+				break
+			}
+		}
+		if !resumed {
+			t.Fatal("controller never actuated a green after release")
+		}
+		if replay := driveDark(t, c.Factory, info, sc, pol, onset, end); !sameOrFatal(t, trace, replay, "dark-mode replay") {
+			return
+		}
+	})
 	t.Run("independence", func(t *testing.T) {
 		// Two controllers from one factory, stepped in lockstep on
 		// different scripts, must match their isolated runs.

@@ -41,6 +41,7 @@ func runTraced(t *testing.T, setup scenario.Setup, pattern scenario.Pattern, fac
 		Routes:      built.Routes,
 		Sensor:      built.Sensor,
 		Control:     setup.Control,
+		Events:      built.Events,
 	})
 	if err != nil {
 		t.Fatal(err)
