@@ -363,7 +363,7 @@ func BenchmarkEngineSteps(b *testing.B) {
 // enforced by TestSpawnPathAllocs and TestStepOnceSteadyStateAllocs and
 // gated in CI — is exactly 0 B/op and 0 allocs/op with traffic flowing
 // and vehicles spawning every measured step.
-func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, benchSetup(), nil) }
+func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, benchSetup(), nil, nil) }
 
 // BenchmarkStepOnceSensed is BenchmarkStepOnce with the sensing layer
 // explicitly engaged: the sensing.Perfect sensor installed, so every
@@ -371,7 +371,7 @@ func BenchmarkStepOnce(b *testing.B) { stepOnceBench(b, benchSetup(), nil) }
 // into the separate observation array. Gated in CI at 0 B/op and
 // 0 allocs/op alongside the sensor-free benchmark — the sensing layer
 // must not reintroduce heap traffic on the hot path.
-func BenchmarkStepOnceSensed(b *testing.B) { stepOnceBench(b, benchSetup(), sensing.Perfect{}) }
+func BenchmarkStepOnceSensed(b *testing.B) { stepOnceBench(b, benchSetup(), nil, sensing.Perfect{}) }
 
 // BenchmarkStepOnceDisrupted is BenchmarkStepOnce with an armed
 // disruption schedule: a mid-run capacity incident, a dark junction and
@@ -389,14 +389,41 @@ func BenchmarkStepOnceDisrupted(b *testing.B) {
 		event.Dark("J00", 800, 300),
 		event.Surge(300, 900, 1.3),
 	)
-	stepOnceBench(b, setup, nil)
+	stepOnceBench(b, setup, nil, nil)
+}
+
+// BenchmarkStepOnceZoo is BenchmarkStepOnce across the rest of the
+// controller zoo (DESIGN.md §13): MaxPressure and BP-EST on the batched
+// plane, the stateful actuated gap-out through the per-junction loop.
+// Every family is CI-gated at 0 B/op and 0 allocs/op alongside the
+// UTIL-BP siblings — controller state (weight slabs, per-link turn-ratio
+// estimators, gap timers) must be pre-sized at construction, never grown
+// on the hot path.
+func BenchmarkStepOnceZoo(b *testing.B) {
+	for _, f := range []struct {
+		name string
+		mk   func(Setup) signal.Factory
+	}{
+		{"MAXPRESSURE", func(s Setup) signal.Factory { return s.MaxPressure(0) }},
+		{"GAPOUT", func(s Setup) signal.Factory { return s.GapOut(0, 0, 0) }},
+		{"BP-EST", func(s Setup) signal.Factory { return s.EstimatedBP(0) }},
+	} {
+		f := f
+		b.Run(f.name, func(b *testing.B) {
+			setup := benchSetup()
+			stepOnceBench(b, setup, f.mk(setup), nil)
+		})
+	}
 }
 
 // stepOnceBench is the shared warm-and-replay body of the StepOnce
-// benchmarks.
-func stepOnceBench(b *testing.B, setup Setup, sensor sensing.Sensor) {
+// benchmarks. A nil factory runs the paper's UTIL-BP.
+func stepOnceBench(b *testing.B, setup Setup, factory signal.Factory, sensor sensing.Sensor) {
 	b.Helper()
 	const horizon = 2000
+	if factory == nil {
+		factory = setup.UtilBP()
+	}
 	built, err := setup.Build(scenario.PatternI)
 	if err != nil {
 		b.Fatal(err)
@@ -406,7 +433,7 @@ func stepOnceBench(b *testing.B, setup Setup, sensor sensing.Sensor) {
 	}
 	engine, err := sim.New(sim.Config{
 		Net:              built.Grid.Network,
-		Controllers:      setup.UtilBP(),
+		Controllers:      factory,
 		Demand:           built.Demand,
 		Router:           built.Router,
 		Routes:           built.Routes,

@@ -57,6 +57,7 @@ type Report struct {
 	Sensing    []SensorStepReport  `json:"sensing,omitempty"`
 	Control    []ControlStepReport `json:"control,omitempty"`
 	Sweeps     []SweepTime         `json:"sweeps"`
+	Matrix     *MatrixReport       `json:"matrix,omitempty"`
 	Robustness []RobustnessReport  `json:"robustness,omitempty"`
 	EngineHeap []HeapReport        `json:"engine_heap,omitempty"`
 }
@@ -118,6 +119,31 @@ type SweepTime struct {
 	Periods     int     `json:"periods"`
 	DurationSec float64 `json:"duration_sec"` // 0 = paper horizons
 	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// MatrixRow is one (workload × controller × sensor) row of the matrix
+// sweep, seeds folded into mean ± std.
+type MatrixRow struct {
+	Workload       string  `json:"workload"`
+	Controller     string  `json:"controller"`
+	Sensor         string  `json:"sensor"`
+	MeanWaitSec    float64 `json:"mean_wait_sec"`
+	StdWaitSec     float64 `json:"std_wait_sec"`
+	CompletionRate float64 `json:"completion_rate"`
+}
+
+// MatrixReport is the controller-zoo matrix measurement
+// (experiment.MatrixSweep): every controller family crossed with the
+// observation axis on the paper grid and the city-scale workloads,
+// through the pooled scheduler with per-worker engine caches.
+type MatrixReport struct {
+	Workloads   []string    `json:"workloads"`
+	Controllers []string    `json:"controllers"`
+	Sensors     []string    `json:"sensors"`
+	Seeds       int         `json:"seeds"`
+	DurationSec float64     `json:"duration_sec"`
+	Rows        []MatrixRow `json:"rows"`
+	WallSeconds float64     `json:"wall_seconds"`
 }
 
 // RobustnessRow is one (controller family × incident severity) point of
@@ -184,6 +210,7 @@ func main() {
 		sense     = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
 		ctrlModes = flag.Bool("control-modes", true, "measure the control substep per dispatch mode (per-junction vs batched) on the paper and city grids")
 		wlDur     = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
+		matrix    = flag.Bool("matrix", true, "run the controller-zoo × sensor matrix sweep (experiment.MatrixSweep) on the paper grid and the city workloads")
 		robust    = flag.Bool("robustness", true, "measure throughput under capacity loss and post-incident recovery on the paper and city grids")
 		heap      = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
@@ -337,6 +364,16 @@ func main() {
 			fmt.Printf("workload_%s: %.3fs (%d seeds x %d periods + UTIL runs @ %.0fs)\n",
 				w.Name, wall, len(seedList), len(periods), horizon)
 		}
+	}
+
+	if *matrix {
+		mr, err := measureMatrix(seedList)
+		if err != nil {
+			fatal(err)
+		}
+		report.Matrix = mr
+		fmt.Printf("matrix: %d rows (%d workloads x %d controllers x %d sensors x %d seeds) in %.3fs\n",
+			len(mr.Rows), len(mr.Workloads), len(mr.Controllers), len(mr.Sensors), mr.Seeds, mr.WallSeconds)
 	}
 
 	if *robust {
@@ -544,6 +581,48 @@ func measureSensing(workload, label string, spec sensing.Spec, explicit bool, se
 	}
 	rep.Phases = phaseSplit(timed, steps)
 	return SensorStepReport{Workload: workload, Sensor: label, StepReport: rep}, nil
+}
+
+// measureMatrix runs the controller-zoo matrix (experiment.MatrixSweep):
+// one representative spec per controller family × {perfect, cv:0.3}
+// observation on the paper grid plus the city-scale and disrupted
+// city workloads, the EXPERIMENTS.md §matrix rows of the report.
+func measureMatrix(seeds []uint64) (*MatrixReport, error) {
+	workloads := []string{"paper-grid", "city-grid", "city-grid-incident"}
+	controllers := experiment.DefaultMatrixControllers()
+	sensors := []sensing.Spec{{}, sensing.CV(0.3)}
+	// The paper-grid's 4 h mixed horizon is sweep-scale overkill here;
+	// 900 s matches the workload sweeps. City workloads keep their own
+	// registered sweep horizons.
+	const durationSec = 900
+	start := time.Now()
+	rows, err := experiment.MatrixSweep(workloads, controllers, sensors, seeds, durationSec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &MatrixReport{
+		Workloads:   workloads,
+		Seeds:       len(seeds),
+		DurationSec: durationSec,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	for _, c := range controllers {
+		rep.Controllers = append(rep.Controllers, c.String())
+	}
+	for _, s := range sensors {
+		rep.Sensors = append(rep.Sensors, s.String())
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, MatrixRow{
+			Workload:       r.Workload,
+			Controller:     r.Controller.String(),
+			Sensor:         r.Sensor.String(),
+			MeanWaitSec:    r.Mean,
+			StdWaitSec:     r.Std,
+			CompletionRate: r.CompletionRate,
+		})
+	}
+	return rep, nil
 }
 
 // measureRobustness runs the disruption-robustness experiment for one

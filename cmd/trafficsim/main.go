@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		patternFlag = flag.String("pattern", "II", "traffic pattern: I, II, III, IV, mixed, rush")
-		controller  = flag.String("controller", "util", "controller: util, cap, orig, capnorm, fixed")
+		controller  = flag.String("controller", "", "controller spec: util | cap[:period] | capnorm[:period] | orig[:period] | fixed[:green] | maxpressure[:minGreen] | gapout[:min,max,gap] | bp-est[:alpha] (default: the workload's controller, else util)")
 		period      = flag.Int("period", 16, "control phase period in seconds (fixed-slot controllers)")
 		duration    = flag.Float64("duration", 0, "simulation horizon in seconds (0 = pattern default)")
 		seed        = flag.Uint64("seed", 1, "random seed")
@@ -61,8 +61,8 @@ func main() {
 			if events == "" {
 				events = "—"
 			}
-			fmt.Printf("%-18s %d×%d grid, pattern %-5v sensor %-8s events %-18s — %s\n",
-				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Setup.Sensor, events, w.Description)
+			fmt.Printf("%-18s %d×%d grid, pattern %-5v controller %-10s sensor %-8s events %-18s — %s\n",
+				w.Name, w.Setup.Grid.Rows, w.Setup.Grid.Cols, w.Pattern, w.Controller, w.Setup.Sensor, events, w.Description)
 		}
 		return
 	}
@@ -89,12 +89,16 @@ func main() {
 		setup   scenario.Setup
 		err     error
 	)
+	// The workload's registered controller fills an empty -controller;
+	// outside workloads the default stays the paper's UTIL-BP.
+	ctlSpec := "util"
 	if *workload != "" {
 		w, ok := scenario.WorkloadByName(*workload)
 		if !ok {
 			fatal(fmt.Errorf("unknown workload %q (run -list-workloads)", *workload))
 		}
 		setup, pattern = w.Setup, w.Pattern
+		ctlSpec = w.Controller.String()
 		// Explicitly passed geometry flags still apply on top of the
 		// workload's setup, like -seed/-amber/-mu below; a conflicting
 		// explicit -pattern is rejected rather than silently ignored.
@@ -152,7 +156,10 @@ func main() {
 		setup.Events = specs
 	})
 
-	factory, err := cli.PickFactory(setup, *controller, *period)
+	if *controller != "" {
+		ctlSpec = *controller
+	}
+	factory, err := cli.PickFactory(setup, ctlSpec, *period)
 	if err != nil {
 		fatal(err)
 	}

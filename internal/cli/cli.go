@@ -30,28 +30,30 @@ func ParsePattern(s string) (scenario.Pattern, error) {
 	return 0, fmt.Errorf("unknown pattern %q (want I, II, III, IV, mixed or rush)", s)
 }
 
-// ControllerNames lists the names PickFactory accepts.
+// ControllerNames lists the controller families PickFactory accepts,
+// delegating to the scenario-layer spec syntax.
 func ControllerNames() []string {
-	return []string{"util", "cap", "capnorm", "orig", "fixed"}
+	return scenario.ControllerSpecNames()
 }
 
-// PickFactory resolves a controller name to a factory configured from the
-// setup. period applies to the fixed-slot and pretimed controllers.
+// PickFactory resolves a controller spec string ("util", "cap:20",
+// "maxpressure:12", "gapout:8,40,3", "bp-est:0.05", ...) to a factory
+// configured from the setup. The legacy -period flag still applies to
+// the fixed-slot and pretimed families when the spec itself does not
+// carry a period, so "cap -period 20" and "cap:20" stay equivalent.
 func PickFactory(setup scenario.Setup, name string, period int) (signal.Factory, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "util", "util-bp", "utilbp":
-		return setup.UtilBP(), nil
-	case "cap", "cap-bp", "capbp":
-		return setup.CapBP(period), nil
-	case "capnorm", "cap-bp-norm":
-		return setup.CapBPNormalized(period), nil
-	case "orig", "orig-bp", "origbp":
-		return setup.OrigBP(period), nil
-	case "fixed", "pretimed":
-		return setup.FixedTime(period), nil
+	spec, err := scenario.ParseControllerSpec(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown controller %q (want one of %s)",
-		name, strings.Join(ControllerNames(), ", "))
+	if spec.PeriodSec == 0 && period > 0 {
+		switch spec.Kind {
+		case scenario.ControllerCap, scenario.ControllerCapNorm,
+			scenario.ControllerOrig, scenario.ControllerFixed:
+			spec.PeriodSec = period
+		}
+	}
+	return setup.Controller(spec)
 }
 
 // ParsePeriodRange parses a "min:max:step" sweep specification in seconds

@@ -1,0 +1,27 @@
+package gapout_test
+
+import (
+	"testing"
+
+	"utilbp/internal/gapout"
+	"utilbp/internal/signal/signaltest"
+)
+
+// TestConformanceGapOut runs the shared controller conformance suite
+// over the actuated gap-out family. MaxGreenSteps arms the suite's
+// max-green preemption invariant — sustained demand (the steady-bias
+// and noisy scripts) must never hold a green past the cap — and the
+// burst-gap script exercises the gap-out timer between the min and max
+// bounds. GapOut implements no signal.BatchFactory, so the suite also
+// covers it through the pure signal.Batched adapter path.
+func TestConformanceGapOut(t *testing.T) {
+	cases := []signaltest.Case{
+		{Name: "GAPOUT", Factory: gapout.Factory(gapout.Options{}), AmberSteps: 4, MinGreenSteps: 8, MaxGreenSteps: 40},
+		{Name: "GAPOUT-tight", Factory: gapout.Factory(gapout.Options{MinGreenSteps: 4, MaxGreenSteps: 16, GapSteps: 2, AmberSteps: 2}), AmberSteps: 2, MinGreenSteps: 4, MaxGreenSteps: 16},
+		{Name: "GAPOUT-longgap", Factory: gapout.Factory(gapout.Options{MinGreenSteps: 6, MaxGreenSteps: 30, GapSteps: 8}), AmberSteps: 4, MinGreenSteps: 6, MaxGreenSteps: 30},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) { signaltest.Run(t, c) })
+	}
+}

@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"utilbp/internal/signal"
+)
+
+// ControllerKind enumerates the controller families a ControllerSpec
+// can select. The zero value is UTIL-BP, so a zero spec resolves to the
+// paper's controller and existing workloads keep their behavior without
+// opting in.
+type ControllerKind int
+
+// The controller families of the zoo (DESIGN.md §13): the paper's
+// UTIL-BP and the CAP-BP/ORIG-BP fixed-slot variants, pretimed
+// round-robin, Varaiya-style MaxPressure, actuated gap-out, and
+// back-pressure on estimated turn ratios.
+const (
+	ControllerUtil ControllerKind = iota
+	ControllerCap
+	ControllerCapNorm
+	ControllerOrig
+	ControllerFixed
+	ControllerMaxPressure
+	ControllerGapOut
+	ControllerBPEst
+)
+
+// Default parameters a spec's zero fields resolve to when the family
+// needs a value: the fixed-slot period matches the CAP-BP@20 operating
+// point the root golden test pins, the pretimed green matches the
+// trafficsim -period default.
+const (
+	defaultSlotPeriodSec = 20
+	defaultFixedGreenSec = 16
+)
+
+// ControllerSpec is the declarative controller configuration carried by
+// the workload registry and experiment sweep axes, the control-side
+// mirror of sensing.Spec: a plain comparable value that is printable
+// (String) and parseable (ParseControllerSpec), so "which controller"
+// can be an axis next to sensor spec, pattern and seed. Parameters are
+// in seconds; the scenario layer maps them onto mini-slots (Δt = 1 s).
+type ControllerSpec struct {
+	// Kind selects the controller family.
+	Kind ControllerKind
+	// PeriodSec is the fixed-slot control period (cap, capnorm, orig)
+	// or the pretimed green (fixed). 0 means the family default.
+	PeriodSec int
+	// MinGreenSec is the guaranteed green for maxpressure and gapout.
+	// 0 means the family default.
+	MinGreenSec int
+	// MaxGreenSec is gapout's unconditional green cap. 0 means the
+	// family default.
+	MaxGreenSec int
+	// GapSec is gapout's no-demand gap-out timer. 0 means the family
+	// default.
+	GapSec int
+	// EstAlpha is bp-est's estimator forgetting rate in (0, 1). 0 means
+	// the family default.
+	EstAlpha float64
+}
+
+// kindNames maps each family to its canonical CLI spelling.
+var kindNames = map[ControllerKind]string{
+	ControllerUtil:        "util",
+	ControllerCap:         "cap",
+	ControllerCapNorm:     "capnorm",
+	ControllerOrig:        "orig",
+	ControllerFixed:       "fixed",
+	ControllerMaxPressure: "maxpressure",
+	ControllerGapOut:      "gapout",
+	ControllerBPEst:       "bp-est",
+}
+
+// String names the family canonically.
+func (k ControllerKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("controller(%d)", int(k))
+}
+
+// Validate rejects malformed specs; Setup.Controller calls it so
+// invalid controllers fail at resolution time, not mid-sweep. The
+// float comparison is written inverted so NaN is rejected too (the
+// FuzzParseSpec lesson from the sensing layer).
+func (s ControllerSpec) Validate() error {
+	if _, ok := kindNames[s.Kind]; !ok {
+		return fmt.Errorf("scenario: unknown controller kind %d", int(s.Kind))
+	}
+	if s.PeriodSec < 0 {
+		return fmt.Errorf("scenario: negative controller period %d", s.PeriodSec)
+	}
+	if s.MinGreenSec < 0 || s.MaxGreenSec < 0 || s.GapSec < 0 {
+		return fmt.Errorf("scenario: negative green/gap timer in %+v", s)
+	}
+	if s.MinGreenSec > 0 && s.MaxGreenSec > 0 && s.MaxGreenSec < s.MinGreenSec {
+		return fmt.Errorf("scenario: MaxGreenSec %d below MinGreenSec %d", s.MaxGreenSec, s.MinGreenSec)
+	}
+	if !(s.EstAlpha >= 0 && s.EstAlpha < 1) {
+		return fmt.Errorf("scenario: estimator forgetting rate %v outside [0, 1)", s.EstAlpha)
+	}
+	return nil
+}
+
+// String renders the spec in the ParseControllerSpec syntax. Renderings
+// of parseable specs round-trip; zero parameters (family defaults) are
+// omitted, so "gapout:8,40,3" and the all-default "gapout" both reach a
+// fixed point.
+func (s ControllerSpec) String() string {
+	name := s.Kind.String()
+	switch s.Kind {
+	case ControllerCap, ControllerCapNorm, ControllerOrig, ControllerFixed:
+		if s.PeriodSec > 0 {
+			return fmt.Sprintf("%s:%d", name, s.PeriodSec)
+		}
+	case ControllerMaxPressure:
+		if s.MinGreenSec > 0 {
+			return fmt.Sprintf("%s:%d", name, s.MinGreenSec)
+		}
+	case ControllerGapOut:
+		if s.MinGreenSec > 0 || s.MaxGreenSec > 0 || s.GapSec > 0 {
+			return fmt.Sprintf("%s:%d,%d,%d", name,
+				orInt(s.MinGreenSec, 8), orInt(s.MaxGreenSec, 40), orInt(s.GapSec, 3))
+		}
+	case ControllerBPEst:
+		if s.EstAlpha > 0 {
+			return name + ":" + strconv.FormatFloat(s.EstAlpha, 'g', -1, 64)
+		}
+	}
+	return name
+}
+
+func orInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// parseKind resolves a family name, accepting the historical CLI
+// aliases next to the canonical spellings.
+func parseKind(name string) (ControllerKind, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "util", "util-bp", "utilbp":
+		return ControllerUtil, true
+	case "cap", "cap-bp", "capbp":
+		return ControllerCap, true
+	case "capnorm", "cap-bp-norm":
+		return ControllerCapNorm, true
+	case "orig", "orig-bp", "origbp":
+		return ControllerOrig, true
+	case "fixed", "pretimed":
+		return ControllerFixed, true
+	case "maxpressure", "max-pressure", "mp":
+		return ControllerMaxPressure, true
+	case "gapout", "gap-out", "actuated":
+		return ControllerGapOut, true
+	case "bp-est", "bpest":
+		return ControllerBPEst, true
+	}
+	return 0, false
+}
+
+// ParseControllerSpec parses the CLI controller syntax:
+//
+//	util
+//	cap[:period]  capnorm[:period]  orig[:period]  (period in seconds)
+//	fixed[:green]
+//	maxpressure[:minGreen]
+//	gapout[:min,max,gap]
+//	bp-est[:alpha]
+//
+// Every accepted spec validates; the parameter-free forms select the
+// family defaults.
+func ParseControllerSpec(arg string) (ControllerSpec, error) {
+	name, param, hasParam := strings.Cut(strings.TrimSpace(arg), ":")
+	kind, ok := parseKind(name)
+	if !ok {
+		return ControllerSpec{}, fmt.Errorf("scenario: unknown controller %q (want %s)",
+			arg, strings.Join(ControllerSpecNames(), ", "))
+	}
+	spec := ControllerSpec{Kind: kind}
+	if !hasParam {
+		return spec, nil
+	}
+	switch kind {
+	case ControllerUtil:
+		return ControllerSpec{}, fmt.Errorf("scenario: util takes no parameter, got %q", arg)
+	case ControllerCap, ControllerCapNorm, ControllerOrig, ControllerFixed:
+		p, err := strconv.Atoi(param)
+		if err != nil || p <= 0 {
+			return ControllerSpec{}, fmt.Errorf("scenario: bad %s period %q (want a positive second count)", kind, param)
+		}
+		spec.PeriodSec = p
+	case ControllerMaxPressure:
+		m, err := strconv.Atoi(param)
+		if err != nil || m <= 0 {
+			return ControllerSpec{}, fmt.Errorf("scenario: bad maxpressure min-green %q (want a positive second count)", param)
+		}
+		spec.MinGreenSec = m
+	case ControllerGapOut:
+		parts := strings.Split(param, ",")
+		if len(parts) != 3 {
+			return ControllerSpec{}, fmt.Errorf("scenario: gapout wants min,max,gap seconds, got %q", param)
+		}
+		vals := make([]int, 3)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				return ControllerSpec{}, fmt.Errorf("scenario: bad gapout timer %q in %q (want positive second counts)", p, param)
+			}
+			vals[i] = v
+		}
+		spec.MinGreenSec, spec.MaxGreenSec, spec.GapSec = vals[0], vals[1], vals[2]
+	case ControllerBPEst:
+		a, err := strconv.ParseFloat(param, 64)
+		// An explicit rate must itself be usable — "bp-est:0" is not a
+		// spelling of the default (the inverted comparison rejects NaN).
+		if err != nil || !(a > 0 && a < 1) {
+			return ControllerSpec{}, fmt.Errorf("scenario: bad bp-est forgetting rate %q (want a value in (0, 1))", param)
+		}
+		spec.EstAlpha = a
+	}
+	if err := spec.Validate(); err != nil {
+		return ControllerSpec{}, err
+	}
+	return spec, nil
+}
+
+// ControllerSpecNames lists the canonical family names ParseControllerSpec
+// accepts, in dispatch-table order.
+func ControllerSpecNames() []string {
+	return []string{"util", "cap", "capnorm", "orig", "fixed", "maxpressure", "gapout", "bp-est"}
+}
+
+// periodOr returns the spec's period or the family default.
+func (s ControllerSpec) periodOr(def int) int {
+	if s.PeriodSec > 0 {
+		return s.PeriodSec
+	}
+	return def
+}
+
+// Controller resolves the spec to a factory configured from the setup —
+// the dispatch table of the controller zoo (DESIGN.md §13). Every
+// family inherits the setup's amber duration; the pressure-based ones
+// also inherit its detector convention (CountApproaching), and bp-est
+// its eq. (8) gains.
+func (s Setup) Controller(spec ControllerSpec) (signal.Factory, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case ControllerUtil:
+		return s.UtilBP(), nil
+	case ControllerCap:
+		return s.CapBP(spec.periodOr(defaultSlotPeriodSec)), nil
+	case ControllerCapNorm:
+		return s.CapBPNormalized(spec.periodOr(defaultSlotPeriodSec)), nil
+	case ControllerOrig:
+		return s.OrigBP(spec.periodOr(defaultSlotPeriodSec)), nil
+	case ControllerFixed:
+		return s.FixedTime(spec.periodOr(defaultFixedGreenSec)), nil
+	case ControllerMaxPressure:
+		return s.MaxPressure(spec.MinGreenSec), nil
+	case ControllerGapOut:
+		return s.GapOut(spec.MinGreenSec, spec.MaxGreenSec, spec.GapSec), nil
+	case ControllerBPEst:
+		return s.EstimatedBP(spec.EstAlpha), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown controller kind %d", int(spec.Kind))
+}

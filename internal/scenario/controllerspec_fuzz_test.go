@@ -1,0 +1,47 @@
+package scenario
+
+import "testing"
+
+// FuzzParseControllerSpec fuzzes the ParseControllerSpec/String round
+// trip, the control-side mirror of sensing's FuzzParseSpec: any input
+// the parser accepts must validate, render through String, re-parse,
+// and reach a fixed point — the property sweeps and the workload
+// registry rely on when they treat controller specs as comparable,
+// printable values. The seed corpus in
+// testdata/fuzz/FuzzParseControllerSpec covers every CLI form plus
+// near-miss inputs.
+func FuzzParseControllerSpec(f *testing.F) {
+	for _, seed := range []string{
+		"util", "util-bp", "UTIL", "cap", "cap:20", "cap:1", "capnorm:30",
+		"orig:16", "fixed", "fixed:25", "pretimed:10",
+		"maxpressure", "maxpressure:12", "mp:5", "MAX-PRESSURE:8",
+		"gapout", "gapout:8,40,3", "gapout:4,16,2", "gap-out:6, 30, 8",
+		"actuated:1,1,1", "bp-est", "bp-est:0.05", "bpest:0.3", "BP-EST:1e-3",
+		"", "util:1", "cap:", "cap:0", "cap:-5", "maxpressure:0",
+		"gapout:8,40", "gapout:40,8,3", "gapout:8,40,3,1", "gapout:a,b,c",
+		"bp-est:", "bp-est:0", "bp-est:1", "bp-est:NaN", "bp-est:-0.1",
+		"bp-est:+Inf", "bogus", "cv:0.3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, arg string) {
+		spec, err := ParseControllerSpec(arg)
+		if err != nil {
+			return // rejected inputs are out of contract
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseControllerSpec(%q) accepted an invalid spec %+v: %v", arg, spec, err)
+		}
+		rendered := spec.String()
+		back, err := ParseControllerSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseControllerSpec(%q) -> %+v renders %q, which does not re-parse: %v", arg, spec, rendered, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip of %q changed the spec: %+v -> %+v", arg, spec, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point for %q: %q -> %q", arg, rendered, again)
+		}
+	})
+}

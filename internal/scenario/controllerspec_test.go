@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"utilbp/internal/signal"
+)
+
+// TestParseControllerSpec table-tests the CLI syntax: canonical forms,
+// aliases, parameter parsing, and rejection of malformed or
+// out-of-range parameters.
+func TestParseControllerSpec(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want ControllerSpec
+		ok   bool
+	}{
+		{"util", ControllerSpec{Kind: ControllerUtil}, true},
+		{"util-bp", ControllerSpec{Kind: ControllerUtil}, true},
+		{" UTIL ", ControllerSpec{Kind: ControllerUtil}, true},
+		{"cap", ControllerSpec{Kind: ControllerCap}, true},
+		{"cap:20", ControllerSpec{Kind: ControllerCap, PeriodSec: 20}, true},
+		{"capnorm:30", ControllerSpec{Kind: ControllerCapNorm, PeriodSec: 30}, true},
+		{"orig:16", ControllerSpec{Kind: ControllerOrig, PeriodSec: 16}, true},
+		{"fixed:25", ControllerSpec{Kind: ControllerFixed, PeriodSec: 25}, true},
+		{"pretimed", ControllerSpec{Kind: ControllerFixed}, true},
+		{"maxpressure", ControllerSpec{Kind: ControllerMaxPressure}, true},
+		{"maxpressure:12", ControllerSpec{Kind: ControllerMaxPressure, MinGreenSec: 12}, true},
+		{"mp:5", ControllerSpec{Kind: ControllerMaxPressure, MinGreenSec: 5}, true},
+		{"gapout", ControllerSpec{Kind: ControllerGapOut}, true},
+		{"gapout:8,40,3", ControllerSpec{Kind: ControllerGapOut, MinGreenSec: 8, MaxGreenSec: 40, GapSec: 3}, true},
+		{"gap-out:4, 16, 2", ControllerSpec{Kind: ControllerGapOut, MinGreenSec: 4, MaxGreenSec: 16, GapSec: 2}, true},
+		{"bp-est", ControllerSpec{Kind: ControllerBPEst}, true},
+		{"bp-est:0.05", ControllerSpec{Kind: ControllerBPEst, EstAlpha: 0.05}, true},
+		{"bpest:0.3", ControllerSpec{Kind: ControllerBPEst, EstAlpha: 0.3}, true},
+
+		{"", ControllerSpec{}, false},
+		{"bogus", ControllerSpec{}, false},
+		{"util:1", ControllerSpec{}, false},
+		{"cap:", ControllerSpec{}, false},
+		{"cap:0", ControllerSpec{}, false},
+		{"cap:-5", ControllerSpec{}, false},
+		{"cap:x", ControllerSpec{}, false},
+		{"maxpressure:0", ControllerSpec{}, false},
+		{"maxpressure:-3", ControllerSpec{}, false},
+		{"gapout:8,40", ControllerSpec{}, false},
+		{"gapout:8,40,3,1", ControllerSpec{}, false},
+		{"gapout:40,8,3", ControllerSpec{}, false}, // max below min
+		{"gapout:8,40,0", ControllerSpec{}, false},
+		{"gapout:a,b,c", ControllerSpec{}, false},
+		{"bp-est:", ControllerSpec{}, false},
+		{"bp-est:0", ControllerSpec{}, false},
+		{"bp-est:1", ControllerSpec{}, false},
+		{"bp-est:-0.1", ControllerSpec{}, false},
+		{"bp-est:NaN", ControllerSpec{}, false},
+		{"bp-est:+Inf", ControllerSpec{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseControllerSpec(c.arg)
+		if c.ok {
+			if err != nil {
+				t.Errorf("ParseControllerSpec(%q) = %v, want %+v", c.arg, err, c.want)
+				continue
+			}
+			if got != c.want {
+				t.Errorf("ParseControllerSpec(%q) = %+v, want %+v", c.arg, got, c.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseControllerSpec(%q) = %+v, want error", c.arg, got)
+		}
+	}
+}
+
+// TestControllerSpecValidate covers the hand-constructed specs the
+// parser cannot produce: NaN and negative parameters must be rejected.
+func TestControllerSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ControllerSpec
+		ok   bool
+	}{
+		{"zero is util", ControllerSpec{}, true},
+		{"gapout defaults", ControllerSpec{Kind: ControllerGapOut}, true},
+		{"bad kind", ControllerSpec{Kind: ControllerKind(99)}, false},
+		{"negative period", ControllerSpec{Kind: ControllerCap, PeriodSec: -1}, false},
+		{"negative min green", ControllerSpec{Kind: ControllerGapOut, MinGreenSec: -1}, false},
+		{"max below min", ControllerSpec{Kind: ControllerGapOut, MinGreenSec: 20, MaxGreenSec: 10}, false},
+		{"alpha NaN", ControllerSpec{Kind: ControllerBPEst, EstAlpha: math.NaN()}, false},
+		{"alpha one", ControllerSpec{Kind: ControllerBPEst, EstAlpha: 1}, false},
+		{"alpha negative", ControllerSpec{Kind: ControllerBPEst, EstAlpha: -0.5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want ok", c.spec, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("Validate(%+v) succeeded, want error", c.spec)
+			}
+		})
+	}
+}
+
+// TestSetupControllerDispatch resolves every family through the setup's
+// dispatch table and checks the factory identity and its batch
+// capability: the per-link pressure controllers (UTIL-BP, MaxPressure,
+// BP-EST) batch; the fixed-slot, pretimed and stateful actuated ones
+// deliberately do not.
+func TestSetupControllerDispatch(t *testing.T) {
+	s := Default()
+	cases := []struct {
+		arg       string
+		wantName  string
+		wantBatch bool
+	}{
+		{"util", "UTIL-BP", true},
+		{"cap:20", "CAP-BP", false},
+		{"capnorm:20", "CAP-BP-NORM", false},
+		{"orig:20", "ORIG-BP", false},
+		{"fixed:16", "FIXED", false},
+		{"maxpressure", "MAXPRESSURE", true},
+		{"gapout", "GAPOUT", false},
+		{"bp-est", "BP-EST", true},
+	}
+	for _, c := range cases {
+		t.Run(c.arg, func(t *testing.T) {
+			spec, err := ParseControllerSpec(c.arg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := s.Controller(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(f.Name(), c.wantName) {
+				t.Errorf("factory name %q, want it to contain %q", f.Name(), c.wantName)
+			}
+			_, batch := f.(signal.BatchFactory)
+			if batch != c.wantBatch {
+				t.Errorf("BatchFactory = %v, want %v", batch, c.wantBatch)
+			}
+		})
+	}
+}

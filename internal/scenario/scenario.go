@@ -15,9 +15,12 @@ import (
 	"fmt"
 
 	"utilbp/internal/bp"
+	"utilbp/internal/bpest"
 	"utilbp/internal/core"
 	"utilbp/internal/event"
 	"utilbp/internal/fixedtime"
+	"utilbp/internal/gapout"
+	"utilbp/internal/maxpressure"
 	"utilbp/internal/network"
 	"utilbp/internal/sensing"
 	"utilbp/internal/signal"
@@ -343,6 +346,44 @@ func (s Setup) OrigBP(periodSec int) signal.Factory {
 func (s Setup) FixedTime(greenSec int) signal.Factory {
 	s = s.withDefaults()
 	return fixedtime.Factory(fixedtime.Options{GreenSteps: greenSec, AmberSteps: s.AmberSec})
+}
+
+// MaxPressure returns the Varaiya-style MaxPressure factory with the
+// given guaranteed green in seconds (0 = package default), using the
+// same amber and detector conventions as UtilBP.
+func (s Setup) MaxPressure(minGreenSec int) signal.Factory {
+	s = s.withDefaults()
+	return maxpressure.Factory(maxpressure.Options{
+		MinGreenSteps:    minGreenSec,
+		AmberSteps:       s.AmberSec,
+		CountApproaching: s.CountApproaching,
+	})
+}
+
+// GapOut returns the actuated gap-out factory with the given green
+// bounds and gap-out timer in seconds (0 = package defaults).
+func (s Setup) GapOut(minGreenSec, maxGreenSec, gapSec int) signal.Factory {
+	s = s.withDefaults()
+	return gapout.Factory(gapout.Options{
+		MinGreenSteps: minGreenSec,
+		MaxGreenSteps: maxGreenSec,
+		GapSteps:      gapSec,
+		AmberSteps:    s.AmberSec,
+	})
+}
+
+// EstimatedBP returns the unknown-routing-rate back-pressure factory
+// (internal/bpest): eq. (8)'s gains driven by online turn-ratio
+// estimates with the given forgetting rate (0 = package default)
+// instead of the frozen route table.
+func (s Setup) EstimatedBP(estAlpha float64) signal.Factory {
+	s = s.withDefaults()
+	return bpest.Factory(bpest.Options{
+		Alpha:      estAlpha,
+		GainAlpha:  s.Alpha,
+		GainBeta:   s.Beta,
+		AmberSteps: s.AmberSec,
+	})
 }
 
 // WithCentralIncident returns a copy of the setup carrying one

@@ -23,6 +23,11 @@ type Workload struct {
 	Setup Setup
 	// Pattern selects the demand shape.
 	Pattern Pattern
+	// Controller is the workload's suggested controller spec, the
+	// default families sweeps and CLI runs use when the caller does not
+	// pick one explicitly. The zero value is UTIL-BP, so historical
+	// workloads keep the paper's controller.
+	Controller ControllerSpec
 	// SweepHorizonSec is the suggested horizon in seconds for sweep-style
 	// consumers (perf trajectory runs, pooled-vs-serial pins) that
 	// otherwise apply one flat horizon to every workload. Zero means "use
@@ -159,5 +164,6 @@ func init() {
 		Description: "3×3 grid under uniform demand observed through 30% connected-vehicle penetration — the estimation-error stress (DESIGN.md §10)",
 		Setup:       estimated,
 		Pattern:     PatternII,
+		Controller:  ControllerSpec{Kind: ControllerBPEst},
 	})
 }

@@ -10,6 +10,11 @@ package signal
 
 import "fmt"
 
+// NumTurns is the number of turning movements a road fans out into
+// (left, straight, right). It sizes the per-movement downstream arrays
+// of LinkObs and matches the network's per-road turn layout.
+const NumTurns = 3
+
 // Phase identifies a control phase at a junction. Control phases are
 // numbered 1..NumPhases; 0 is the amber transition phase c0 during which
 // no link is activated.
@@ -50,6 +55,22 @@ type LinkObs struct {
 	InCapacity int
 	// Mu is the link's full service rate µ_i^{i'} in veh/s.
 	Mu float64
+	// OutTurnQueue resolves OutQueue per turning movement of the
+	// OUTGOING road: OutTurnQueue[t] counts the vehicles queued in the
+	// outgoing road's movement-t lane. Downstream-aware controllers
+	// (MaxPressure, unknown-routing-rate BP) weight these by routing
+	// rates instead of using the aggregate OutQueue. Engine-owned like
+	// the capacity fields: sensors never write it (the engine copies
+	// truth to the sensed observation after SenseLink), so adding it
+	// perturbs no sensor's draw sequence. Zero for boundary sinks.
+	OutTurnQueue [NumTurns]int
+	// OutTurnJoins is the cumulative count of vehicles that have joined
+	// each turning movement's queue on the outgoing road since engine
+	// reset — the observable "departures per movement" signal an online
+	// turn-ratio estimator consumes in place of the frozen
+	// vehicle.RouteTable (PAPERS.md 1401.3357). Engine-owned like
+	// OutTurnQueue. Zero for boundary sinks.
+	OutTurnJoins [NumTurns]int
 }
 
 // OutFull reports whether the outgoing road has reached its capacity, the

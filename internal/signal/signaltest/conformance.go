@@ -1,13 +1,16 @@
 // Package signaltest is a reusable conformance suite for
 // signal.Controller implementations: a table of contract invariants —
 // in-range decisions, replay determinism, amber insertion between
-// distinct greens, minimum green holding, factory independence,
-// batched-dispatch equivalence, and dark-mode fallback/recovery (the
-// engine-side override of DESIGN.md §12) — driven over a set of
-// scripted observation scenarios. Controller packages (internal/core,
-// internal/bp, internal/fixedtime) run their factories through Run, so
-// third-party controllers get the engine's expectations as an
-// executable checklist instead of prose (DESIGN.md §6, §11).
+// distinct greens, minimum green holding, max-green preemption,
+// factory independence, reset-rebuild coldness (Engine.Reset rebuilds
+// controllers through the factory), batched-dispatch equivalence, and
+// dark-mode fallback/recovery (the engine-side override of DESIGN.md
+// §12) — driven over a set of scripted observation scenarios.
+// Controller packages (internal/core, internal/bp, internal/fixedtime,
+// internal/maxpressure, internal/gapout, internal/bpest) run their
+// factories through Run, so third-party controllers get the engine's
+// expectations as an executable checklist instead of prose (DESIGN.md
+// §6, §11, §13).
 package signaltest
 
 import (
@@ -32,6 +35,10 @@ type Case struct {
 	// may be shorter. Values < 2 skip the check (every run is at least
 	// one slot by construction).
 	MinGreenSteps int
+	// MaxGreenSteps is the preemption bound: no green run, completed or
+	// in progress, may be longer. Zero skips the check (the family has
+	// no max-green timer).
+	MaxGreenSteps int
 }
 
 // testJunction returns the synthetic junction the scripts are written
@@ -65,13 +72,19 @@ func staticFill(links []signal.LinkObs) {
 
 // setQueues writes a link's dynamic state keeping the cross-field
 // relations the engine maintains (ApproachQueue ≥ Queue,
-// OutOccupancy ≥ OutQueue).
+// OutOccupancy ≥ OutQueue, and OutQueue resolved into per-movement
+// OutTurnQueue entries summing to it). OutTurnJoins is left for the
+// script to shape — it must be monotone in the step for engine
+// fidelity, which a fill that never touches it (frozen at zero)
+// trivially satisfies.
 func setQueues(l *signal.LinkObs, queue, inTransit, outQueue, outExtra int) {
 	l.Queue = queue
 	l.InTransit = inTransit
 	l.ApproachQueue = queue + inTransit
 	l.OutQueue = outQueue
 	l.OutOccupancy = outQueue + outExtra
+	third := outQueue / 3
+	l.OutTurnQueue = [signal.NumTurns]int{outQueue - 2*third, third, third}
 }
 
 // splitmix is a tiny deterministic PRNG for the noisy script; it must
@@ -94,10 +107,16 @@ func scripts() []script {
 		}},
 		{"steady-bias", 240, func(step int, links []signal.LinkObs) {
 			// Phase 1's links carry sustained load; phase 2 stays light.
+			// Two links see their downstream departure counters advance
+			// at different (slow) cadences, so estimator-carrying
+			// families exercise change-set cache invalidation without
+			// dirtying every link every round.
 			setQueues(&links[0], 14, 2, 3, 1)
 			setQueues(&links[1], 9, 1, 2, 0)
 			setQueues(&links[2], 2, 0, 4, 1)
 			setQueues(&links[3], 1, 0, 5, 2)
+			links[0].OutTurnJoins = [signal.NumTurns]int{step / 3, step / 5, step / 11}
+			links[2].OutTurnJoins = [signal.NumTurns]int{step / 4, 0, step / 6}
 		}},
 		{"alternating", 320, func(step int, links []signal.LinkObs) {
 			// The heavy side flips every 40 slots, forcing transitions.
@@ -109,6 +128,7 @@ func scripts() []script {
 			setQueues(&links[heavy+1], 12, 2, 3, 0)
 			setQueues(&links[light], 1, 0, 6, 2)
 			setQueues(&links[light+1], 0, 1, 4, 1)
+			links[1].OutTurnJoins = [signal.NumTurns]int{step / 2, step / 8, 0}
 		}},
 		{"downstream-full", 200, func(step int, links []signal.LinkObs) {
 			// Phase 1's outgoing roads sit at capacity (the eq. 8 beta
@@ -126,7 +146,26 @@ func scripts() []script {
 				oq := int(splitmix(&state) % 15)
 				ox := int(splitmix(&state) % 30)
 				setQueues(&links[i], q, it, oq, ox)
+				// Monotone departure counters with per-link cadence.
+				links[i].OutTurnJoins = [signal.NumTurns]int{
+					step * (i + 1) / 4, step / 3, step / 5,
+				}
 			}
+		}},
+		{"burst-gap", 260, func(step int, links []signal.LinkObs) {
+			// Phase 1 sees 15-slot demand bursts separated by 35 quiet
+			// slots — the actuated gap-out pattern: greens extend under
+			// the burst and gap out after it; phase 2 never presents
+			// demand, so only the min-green and gap timers govern it.
+			q := 0
+			if step%50 < 15 {
+				q = 12
+			}
+			setQueues(&links[0], q, q/4, 2, 1)
+			setQueues(&links[1], q/2, 0, 1, 0)
+			setQueues(&links[2], 0, 0, 3, 1)
+			setQueues(&links[3], 0, 0, 2, 0)
+			links[0].OutTurnJoins = [signal.NumTurns]int{step / 2, step / 7, step / 13}
 		}},
 	}
 }
@@ -333,6 +372,25 @@ func checkAmberInsertion(t *testing.T, trace []signal.Phase, minAmber int) {
 	}
 }
 
+// checkMaxGreen fails when any green run — completed or still in
+// progress at the end of the trace — exceeds maxGreen slots: the
+// max-green preemption invariant of actuated controllers.
+func checkMaxGreen(t *testing.T, trace []signal.Phase, maxGreen int) {
+	t.Helper()
+	run := 0
+	cur := signal.Amber
+	for k, p := range trace {
+		if p == cur {
+			run++
+		} else {
+			cur, run = p, 1
+		}
+		if cur != signal.Amber && run > maxGreen {
+			t.Fatalf("step %d: green %v held %d slots, max-green preemption bound is %d", k, cur, run, maxGreen)
+		}
+	}
+}
+
 // checkMinGreen fails when a completed green run (ended by a phase
 // change, not by the end of the trace) is shorter than minGreen.
 func checkMinGreen(t *testing.T, trace []signal.Phase, minGreen int) {
@@ -385,6 +443,9 @@ func Run(t *testing.T, c Case) {
 			}
 			if c.MinGreenSteps > 1 {
 				checkMinGreen(t, trace, c.MinGreenSteps)
+			}
+			if c.MaxGreenSteps > 0 {
+				checkMaxGreen(t, trace, c.MaxGreenSteps)
 			}
 			if replay := drive(t, c.Factory, info, sc); !sameOrFatal(t, trace, replay, "replay") {
 				return
@@ -470,6 +531,36 @@ func Run(t *testing.T, c Case) {
 		}
 		if replay := driveDark(t, c.Factory, info, sc, pol, onset, end); !sameOrFatal(t, trace, replay, "dark-mode replay") {
 			return
+		}
+	})
+	t.Run("reset-rebuild", func(t *testing.T) {
+		// Engine.Reset rebuilds controllers through the factory
+		// (sim.buildControlPlane), relying on every build starting cold:
+		// timers at zero, estimators at their prior. A factory leaking
+		// state between builds — a shared timer, a reused estimator or
+		// gain slab — would make the post-reset run diverge from a cold
+		// start. Drive one build partway, discard it, and require a
+		// fresh build to reproduce the cold full-script trace; likewise
+		// for the batched controller when the factory is batch-capable.
+		sc := scs[2] // alternating: transitions on both sides of the cut
+		full := drive(t, c.Factory, info, sc)
+		partial := script{sc.name, 137, sc.fill}
+		_ = drive(t, c.Factory, info, partial) // advance and abandon one build
+		rebuilt := drive(t, c.Factory, info, sc)
+		sameOrFatal(t, full, rebuilt, "rebuilt controller after partial run")
+		if bf, ok := c.Factory.(signal.BatchFactory); ok {
+			infos := []signal.JunctionInfo{info}
+			abandoned, err := bf.NewBatch(infos)
+			if err != nil {
+				t.Fatalf("NewBatch: %v", err)
+			}
+			driveBatchController(t, abandoned, infos, []script{partial})
+			fresh, err := bf.NewBatch(infos)
+			if err != nil {
+				t.Fatalf("NewBatch: %v", err)
+			}
+			batchTrace := driveBatchController(t, fresh, infos, []script{sc})[0]
+			sameOrFatal(t, full, batchTrace, "rebuilt batched controller after partial run")
 		}
 	})
 	t.Run("independence", func(t *testing.T) {

@@ -75,9 +75,11 @@ func compareTraces(t *testing.T, perJunction, batched []phaseEvent) {
 // TestBatchedControlEquivalenceWorkloads pins the batched control plane
 // to the per-junction reference on every registered workload — the
 // paper grid, the sensed estimated-grid, the 16×16 city grid and the
-// rest — for both the adaptive UTIL-BP controller (dense gain slab with
-// change-set caching) and the fixed-slot CAP-BP baseline (Batched
-// adapter): identical phase traces, vehicle arenas and totals.
+// rest — across the batch-capable controller zoo: UTIL-BP, MaxPressure
+// and BP-EST (dense slabs with change-set caching; BP-EST additionally
+// carries per-link estimator state the caching must keep exact) plus
+// the fixed-slot CAP-BP baseline (Batched adapter): identical phase
+// traces, vehicle arenas and totals.
 func TestBatchedControlEquivalenceWorkloads(t *testing.T) {
 	for _, w := range scenario.Workloads() {
 		w := w
@@ -94,6 +96,8 @@ func TestBatchedControlEquivalenceWorkloads(t *testing.T) {
 			}{
 				{"UTIL-BP", func(s scenario.Setup) signal.Factory { return s.UtilBP() }},
 				{"CAP-BP", func(s scenario.Setup) signal.Factory { return s.CapBP(20) }},
+				{"MAXPRESSURE", func(s scenario.Setup) signal.Factory { return s.MaxPressure(0) }},
+				{"BP-EST", func(s scenario.Setup) signal.Factory { return s.EstimatedBP(0) }},
 			}
 			for _, f := range factories {
 				f := f
@@ -180,44 +184,58 @@ func TestControlModeResetWithSwitch(t *testing.T) {
 }
 
 // TestBatchedSteadyStateAllocs extends the zero-allocation steady-state
-// contract to the batched control plane: with the dense gain slab and
-// change set pre-sized at construction, batched stepping must not touch
-// the heap over the full drain window either.
+// contract to the batched control plane, for every batch-capable family
+// in the zoo: with the dense slabs and change set pre-sized at
+// construction (BP-EST's per-link estimators included), batched
+// stepping must not touch the heap over the full drain window either.
 func TestBatchedSteadyStateAllocs(t *testing.T) {
 	const warmup = 600
 	setup := scenario.Default()
 	setup.Seed = 7
 	setup.Control = signal.ControlBatched
-	built, err := setup.Build(scenario.PatternI)
-	if err != nil {
-		t.Fatal(err)
+	factories := []struct {
+		name string
+		mk   func() signal.Factory
+	}{
+		{"UTIL-BP", func() signal.Factory { return setup.UtilBP() }},
+		{"MAXPRESSURE", func() signal.Factory { return setup.MaxPressure(0) }},
+		{"BP-EST", func() signal.Factory { return setup.EstimatedBP(0) }},
 	}
-	engine, err := sim.New(sim.Config{
-		Net:         built.Grid.Network,
-		Controllers: setup.UtilBP(),
-		Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
-		Router:      built.Router,
-		Routes:      built.Routes,
-		Control:     setup.Control,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !engine.Batched() {
-		t.Fatal("engine is not dispatching batched")
-	}
-	engine.Run(warmup + 20)
-	if engine.Totals().Spawned == 0 {
-		t.Fatal("warmup spawned no vehicles")
-	}
-	allocs := testing.AllocsPerRun(400, func() {
-		engine.Run(20)
-	})
-	if allocs != 0 {
-		t.Fatalf("batched stepOnce allocates: %v allocs per Run(20), want 0", allocs)
-	}
-	if err := engine.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	for _, f := range factories {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			built, err := setup.Build(scenario.PatternI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine, err := sim.New(sim.Config{
+				Net:         built.Grid.Network,
+				Controllers: f.mk(),
+				Demand:      &sim.CutoffDemand{Inner: built.Demand, CutoffStep: warmup},
+				Router:      built.Router,
+				Routes:      built.Routes,
+				Control:     setup.Control,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !engine.Batched() {
+				t.Fatal("engine is not dispatching batched")
+			}
+			engine.Run(warmup + 20)
+			if engine.Totals().Spawned == 0 {
+				t.Fatal("warmup spawned no vehicles")
+			}
+			allocs := testing.AllocsPerRun(400, func() {
+				engine.Run(20)
+			})
+			if allocs != 0 {
+				t.Fatalf("batched stepOnce allocates: %v allocs per Run(20), want 0", allocs)
+			}
+			if err := engine.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
