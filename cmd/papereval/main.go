@@ -17,6 +17,7 @@ import (
 
 	"utilbp/internal/experiment"
 	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
 	"utilbp/internal/trace"
 )
 
@@ -27,6 +28,8 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "aggregate Table III over this many seeds (robustness)")
 		fig2     = flag.Bool("fig2", false, "reproduce Figure 2 (period sweep, mixed pattern)")
 		figs     = flag.Bool("figs", false, "reproduce Figures 3-5 (phase timelines + queue series)")
+		matrix   = flag.Bool("matrix", false, "run the controller × sensor matrix sweep (DESIGN.md §13)")
+		stress   = flag.Bool("stress", false, "run the area-incident stress study (DESIGN.md §14)")
 		all      = flag.Bool("all", false, "reproduce everything")
 		duration = flag.Float64("duration", 0, "override horizon in seconds (0 = paper defaults)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -37,7 +40,7 @@ func main() {
 		outDir   = flag.String("out", "", "directory for CSV outputs (empty = no files)")
 	)
 	flag.Parse()
-	if !*table3 && !*fig2 && !*figs && !*ablation && *seeds == 0 && !*all {
+	if !*table3 && !*fig2 && !*figs && !*ablation && !*matrix && !*stress && *seeds == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -189,6 +192,39 @@ func main() {
 					fatal(err)
 				}
 			}
+		}
+	}
+
+	// The matrix and stress studies are repo extensions beyond the
+	// paper's artifacts (DESIGN.md §13-14): they aggregate over a fixed
+	// pair of seeds derived from -seed, and default to a 900 s horizon
+	// because neither has a paper-mandated duration.
+	if *matrix || *stress {
+		seedPair := []uint64{*seed, *seed + 1}
+		studyDuration := *duration
+		if studyDuration <= 0 {
+			studyDuration = 900
+		}
+		if *matrix {
+			rows, err := experiment.MatrixSweep([]string{"paper-grid"},
+				experiment.DefaultMatrixControllers(),
+				[]sensing.Spec{{}, sensing.CV(0.3)},
+				seedPair, studyDuration)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("== Controller × sensor matrix (paper grid) ==")
+			fmt.Print(experiment.FormatMatrixStats(rows, seedPair))
+			fmt.Println()
+		}
+		if *stress {
+			rows, err := experiment.StressSweep(setup, scenario.PatternII, nil, nil, seedPair, studyDuration)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("== Area-incident stress study (paper grid, Pattern II) ==")
+			fmt.Print(experiment.FormatStressStats(rows, seedPair))
+			fmt.Println()
 		}
 	}
 }

@@ -59,6 +59,7 @@ type Report struct {
 	Sweeps     []SweepTime         `json:"sweeps"`
 	Matrix     *MatrixReport       `json:"matrix,omitempty"`
 	Robustness []RobustnessReport  `json:"robustness,omitempty"`
+	Stress     []StressReport      `json:"stress,omitempty"`
 	EngineHeap []HeapReport        `json:"engine_heap,omitempty"`
 }
 
@@ -179,6 +180,38 @@ type RobustnessReport struct {
 	WallSeconds         float64 `json:"wall_seconds"`
 }
 
+// StressRow is one (controller family × area size × demand scale)
+// point of the graceful-degradation surface (experiment.StressSweep):
+// area_k = 0 is the undisrupted reference at the same demand.
+type StressRow struct {
+	Family         string  `json:"family"`
+	AreaK          int     `json:"area_k"`
+	DemandScale    float64 `json:"demand_scale"`
+	MeanWaitSec    float64 `json:"mean_wait_sec"`
+	StdWaitSec     float64 `json:"std_wait_sec"`
+	MeanThroughput float64 `json:"mean_throughput"`
+	DegradationPct float64 `json:"degradation_pct"`
+}
+
+// StressReport is the area-incident stress study for one workload: the
+// degradation surface across controller families, area sizes and
+// demand scales, plus the queue-recovery metric of the largest area
+// incident under UTIL-BP at a stable operating point (the same probe
+// conventions as RobustnessReport; DESIGN.md §14).
+type StressReport struct {
+	Workload            string      `json:"workload"`
+	HorizonSec          float64     `json:"horizon_sec"`
+	Seeds               int         `json:"seeds"`
+	Rows                []StressRow `json:"rows"`
+	RecoveryAreaK       int         `json:"recovery_area_k"`
+	RecoveryDemandScale float64     `json:"recovery_demand_scale"`
+	RecoveryHorizonSec  float64     `json:"recovery_horizon_sec"`
+	OnsetQueued         int         `json:"recovery_onset_queued"`
+	PeakQueued          int         `json:"recovery_peak_queued"`
+	RecoverySec         float64     `json:"recovery_sec"`
+	WallSeconds         float64     `json:"wall_seconds"`
+}
+
 // HeapReport is the per-engine memory footprint of one workload: the
 // heap bytes one simulation engine retains when built on a shared
 // scenario artifact (arena pre-sized for the pattern horizon, lane rings
@@ -212,6 +245,7 @@ func main() {
 		wlDur     = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
 		matrix    = flag.Bool("matrix", true, "run the controller-zoo × sensor matrix sweep (experiment.MatrixSweep) on the paper grid and the city workloads")
 		robust    = flag.Bool("robustness", true, "measure throughput under capacity loss and post-incident recovery on the paper and city grids")
+		stress    = flag.Bool("stress", true, "run the area-incident stress study (experiment.StressSweep): graceful degradation across area sizes and demand scales on the paper and city grids")
 		heap      = flag.Bool("heap", true, "measure per-engine heap bytes for the paper and city workloads")
 	)
 	flag.Parse()
@@ -393,6 +427,27 @@ func main() {
 			}
 			fmt.Printf("robustness %s: %d rows, onset %d peak %d queued, %s (%.3fs)\n",
 				name, len(rr.Rows), rr.OnsetQueued, rr.PeakQueued, rec, rr.WallSeconds)
+		}
+	}
+
+	if *stress {
+		for _, name := range []string{"paper-grid", "city-grid"} {
+			w, ok := scenario.WorkloadByName(name)
+			if !ok {
+				continue
+			}
+			sr, err := measureStress(w, seedList)
+			if err != nil {
+				fatal(err)
+			}
+			report.Stress = append(report.Stress, sr)
+			rec := fmt.Sprintf("recovered %.0fs after clearance", sr.RecoverySec)
+			if sr.RecoverySec < 0 {
+				rec = "not recovered within horizon"
+			}
+			fmt.Printf("stress %s: %d rows (%d areas x %d demand levels), %dx%d recovery: %s (%.3fs)\n",
+				name, len(sr.Rows), len(experiment.DefaultStressAreas()), len(experiment.DefaultStressDemandScales()),
+				sr.RecoveryAreaK, sr.RecoveryAreaK, rec, sr.WallSeconds)
 		}
 	}
 
@@ -691,6 +746,77 @@ func measureRobustness(w scenario.Workload, seeds []uint64) (RobustnessReport, e
 	if err != nil {
 		return RobustnessReport{}, err
 	}
+	rep.RecoveryDemandScale = base.DemandScale
+	rep.RecoveryHorizonSec = recHorizon
+	rep.OnsetQueued = rec.OnsetQueued
+	rep.PeakQueued = rec.PeakQueued
+	rep.RecoverySec = rec.RecoverySec
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// measureStress runs the area-incident stress study on a workload:
+// experiment.StressSweep across the default area and demand axes, plus
+// the recovery probe of the largest area incident under UTIL-BP at the
+// same stable operating point measureRobustness uses.
+func measureStress(w scenario.Workload, seeds []uint64) (StressReport, error) {
+	// Like the robustness sweep, the stress study ignores shortened
+	// sweep horizons: the area incident spans the middle half of the
+	// run and needs a loaded network for the clamps to bind.
+	horizon := math.Max(w.SweepHorizon(900), 900)
+	areas := experiment.DefaultStressAreas()
+	scales := experiment.DefaultStressDemandScales()
+	start := time.Now()
+	rows, err := experiment.StressSweep(w.Setup, w.Pattern, areas, scales, seeds, horizon)
+	if err != nil {
+		return StressReport{}, err
+	}
+	rep := StressReport{
+		Workload:   w.Name,
+		HorizonSec: horizon,
+		Seeds:      len(seeds),
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, StressRow{
+			Family:         string(r.Family),
+			AreaK:          r.AreaK,
+			DemandScale:    r.DemandScale,
+			MeanWaitSec:    r.Mean,
+			StdWaitSec:     r.Std,
+			MeanThroughput: r.MeanThroughput,
+			DegradationPct: r.DegradationPct,
+		})
+	}
+	worst := 1
+	for _, k := range areas {
+		if k > worst {
+			worst = k
+		}
+	}
+	// Recovery probe conventions shared with measureRobustness: 0.6×
+	// uniform demand so the onset level is an equilibrium, onset at
+	// mid-horizon, the incident spanning an eighth of the horizon.
+	recHorizon := math.Max(2*horizon, 2400)
+	base := w.Setup
+	if base.DemandScale == 0 {
+		base.DemandScale = 1
+	}
+	base.DemandScale *= 0.6
+	setup, err := base.WithCornerAreaIncident(worst, recHorizon/2, recHorizon/8, experiment.DefaultStressCapFrac)
+	if err != nil {
+		return StressReport{}, err
+	}
+	setup.Seed = seeds[0]
+	rec, err := experiment.MeasureRecovery(experiment.Spec{
+		Setup:       setup,
+		Pattern:     scenario.PatternII,
+		Factory:     setup.UtilBP(),
+		DurationSec: recHorizon,
+	})
+	if err != nil {
+		return StressReport{}, err
+	}
+	rep.RecoveryAreaK = worst
 	rep.RecoveryDemandScale = base.DemandScale
 	rep.RecoveryHorizonSec = recHorizon
 	rep.OnsetQueued = rec.OnsetQueued

@@ -12,6 +12,8 @@
 //	trafficsim -workload estimated-grid -sensor loop
 //	trafficsim -workload city-grid -control per-junction
 //	trafficsim -events "incident:link=J00->J01,t0=600,dur=300,cap=0.5;surge:t0=600,dur=900,scale=1.5"
+//	trafficsim -snapshot-at 1800 -snapshot-out run.snap
+//	trafficsim -restore-from run.snap
 //	trafficsim -list-workloads
 package main
 
@@ -52,6 +54,9 @@ func main() {
 		sensorFlag  = flag.String("sensor", "", "observation sensor: perfect | loop | cv:<rate> (default: the workload's sensor, else perfect)")
 		eventsFlag  = flag.String("events", "", "disruption schedule, ';'-separated event specs (see internal/event); REPLACES the workload's schedule — pass '' to run a disrupted workload clean")
 		controlFlag = flag.String("control", "", "controller dispatch mode: auto | per-junction | batched (default auto: batched when the controller supports it)")
+		snapAt      = flag.Float64("snapshot-at", 0, "capture an engine snapshot after this many simulated seconds (requires -snapshot-out)")
+		snapOut     = flag.String("snapshot-out", "", "write the -snapshot-at snapshot to this path and continue the run")
+		restoreFrom = flag.String("restore-from", "", "resume the run from a snapshot file written by -snapshot-out; the flags must rebuild the captured configuration")
 	)
 	flag.Parse()
 
@@ -171,7 +176,10 @@ func main() {
 		MixedLanes:       *mixedLanes,
 		StartupLostSteps: *lost,
 	}
-	if *vehOut == "" {
+	if (*snapOut != "") != (*snapAt > 0) {
+		fatal(fmt.Errorf("-snapshot-at and -snapshot-out must be used together"))
+	}
+	if *vehOut == "" && *snapOut == "" && *restoreFrom == "" {
 		res, err := experiment.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -183,7 +191,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	engine.RunFor(horizon)
+	if *restoreFrom != "" {
+		data, err := os.ReadFile(*restoreFrom)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.Restore(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored          <- %s (t=%.0fs)\n", *restoreFrom, engine.Time())
+	}
+	if *snapOut != "" {
+		if *snapAt > engine.Time() {
+			engine.RunFor(*snapAt - engine.Time())
+		}
+		if err := os.WriteFile(*snapOut, engine.Snapshot(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot          -> %s (t=%.0fs)\n", *snapOut, engine.Time())
+	}
+	if horizon > engine.Time() {
+		engine.RunFor(horizon - engine.Time())
+	}
 	engine.FinalizeWaits()
 	if err := engine.CheckInvariants(); err != nil {
 		fatal(err)
@@ -195,6 +224,9 @@ func main() {
 		Summary:     stats.Summarize(engine.Vehicles()),
 		Totals:      engine.Totals(),
 	})
+	if *vehOut == "" {
+		return
+	}
 	f, err := os.Create(*vehOut)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,28 @@
+package bp
+
+import (
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+)
+
+// SnapshotState implements signal.Snapshotter: the fixed-slot
+// controller's cross-step state is its slot machinery — the held and
+// pending phases, the amber and slot-boundary timers, and whether the
+// first slot has started. The gain slab is per-boundary scratch.
+func (c *Controller) SnapshotState(w *snap.Writer) {
+	w.Int(int(c.current))
+	w.Int(int(c.pending))
+	w.Int(c.amberUntil)
+	w.Int(c.nextSwitch)
+	w.Bool(c.started)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (c *Controller) RestoreState(r *snap.Reader) error {
+	c.current = signal.Phase(r.Int())
+	c.pending = signal.Phase(r.Int())
+	c.amberUntil = r.Int()
+	c.nextSwitch = r.Int()
+	c.started = r.Bool()
+	return r.Err()
+}

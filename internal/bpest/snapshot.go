@@ -1,0 +1,59 @@
+package bpest
+
+import (
+	"fmt"
+
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+)
+
+// SnapshotState implements signal.Snapshotter: the estimated-routing
+// controller carries the amber timer plus one turn-ratio estimator per
+// link — the ratio vector and the cumulative join counters it last
+// consumed. Restoring lastJoins alongside the ratios is what makes the
+// first post-restore full sweep exact: Observe sees zero deltas on
+// unchanged links and no-ops, leaving the restored ratios bit-for-bit.
+func (c *Controller) SnapshotState(w *snap.Writer) {
+	w.Int(c.amberUntil)
+	w.Int(len(c.est))
+	for i := range c.est {
+		e := &c.est[i]
+		for t := 0; t < signal.NumTurns; t++ {
+			w.Float64(e.ratios[t])
+		}
+		for t := 0; t < signal.NumTurns; t++ {
+			w.Int(e.lastJoins[t])
+		}
+	}
+}
+
+// RestoreState implements signal.Snapshotter.
+func (c *Controller) RestoreState(r *snap.Reader) error {
+	c.amberUntil = r.Int()
+	n := r.Int()
+	if r.Err() == nil && n != len(c.est) {
+		return fmt.Errorf("bpest: snapshot holds %d link estimators, controller has %d", n, len(c.est))
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := &c.est[i]
+		for t := 0; t < signal.NumTurns; t++ {
+			e.ratios[t] = r.Float64()
+		}
+		for t := 0; t < signal.NumTurns; t++ {
+			e.lastJoins[t] = r.Int()
+		}
+	}
+	return r.Err()
+}
+
+// SnapshotState implements signal.Snapshotter by delegating to the
+// per-junction controllers; the gain slab and primed flag are cache
+// rebuilt exactly by the first post-restore full sweep.
+func (b *BatchController) SnapshotState(w *snap.Writer) {
+	signal.SnapshotStates(w, b.juncs)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (b *BatchController) RestoreState(r *snap.Reader) error {
+	return signal.RestoreStates(r, b.juncs)
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGenerateDeterministic pins that a seed maps to exactly one
+// scenario: the generator is the identity card of a chaos run, so the
+// same seed must describe the same setup, schedule and step plan.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Describe() != b.Describe() {
+			t.Fatalf("seed %d generated two scenarios:\n%s\n%s", seed, a.Describe(), b.Describe())
+		}
+	}
+}
+
+// TestGenerateShape samples the generator and checks structural
+// validity: grids inside the 2×2..4×4 band, strictly increasing
+// checkpoints inside the horizon, and every generated schedule
+// buildable (Setup.Build compiles the events, so per-target window
+// overlap would fail here).
+func TestGenerateShape(t *testing.T) {
+	kinds := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		sc, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := sc.Setup.Grid
+		if g.Rows < 2 || g.Rows > 4 || g.Cols < 2 || g.Cols > 4 {
+			t.Fatalf("seed %d: grid %dx%d outside the 2..4 band", seed, g.Rows, g.Cols)
+		}
+		prev := 0
+		for _, k := range sc.CheckAt {
+			if k <= prev || k >= sc.Steps {
+				t.Fatalf("seed %d: checkpoints %v not strictly increasing inside (0, %d)", seed, sc.CheckAt, sc.Steps)
+			}
+			prev = k
+		}
+		if _, err := sc.Setup.Build(sc.Pattern); err != nil {
+			t.Fatalf("seed %d: generated schedule does not compile: %v", seed, err)
+		}
+		kinds[sc.Controller.Kind.String()] = true
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("64 seeds only reached controller kinds %v; the axis is not being sampled", kinds)
+	}
+}
+
+// TestChaosDrillSeeds runs the full drill — invariants, snapshot/
+// restore equivalence at the generated checkpoints, Reset replay — on
+// a spread of fixed seeds. This is the deterministic smoke the fuzz
+// target extends.
+func TestChaosDrillSeeds(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2, 3, 5, 8, 13, 21} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Generate(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Drill(sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// FuzzChaosSchedule is the randomized robustness gate: any uint64 the
+// fuzzer produces must map to a valid scenario whose drill passes —
+// invariants at every checkpoint, bit-for-bit snapshot/restore
+// equivalence and Reset replay under randomly composed disruption
+// schedules, controllers and sensors. The seed corpus in
+// testdata/fuzz/FuzzChaosSchedule keeps a spread of grids, controller
+// families and disruption mixes in CI's 20 s smoke budget.
+func FuzzChaosSchedule(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1969, 1 << 33, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", seed, err)
+		}
+		if err := Drill(sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+)
+
+// SnapshotState implements signal.Snapshotter. The only cross-step
+// state Algorithm 1 keeps is the transition timer t_Δk — the gain and
+// score slabs are per-Decide scratch recomputed from the observation —
+// so the UTIL-BP state section is a single integer.
+func (c *Controller) SnapshotState(w *snap.Writer) {
+	w.Int(c.amberUntil)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (c *Controller) RestoreState(r *snap.Reader) error {
+	c.amberUntil = r.Int()
+	return r.Err()
+}
+
+// SnapshotState implements signal.Snapshotter by delegating to the
+// per-junction controllers. The gain slab and primed flag are cache: a
+// restored controller starts unprimed, and its first DecideAll full
+// sweep recomputes the slab from the restored observations — the gain
+// is a pure function of the link observation, so the recomputed values
+// are bit-for-bit the cached ones.
+func (b *BatchController) SnapshotState(w *snap.Writer) {
+	signal.SnapshotStates(w, b.juncs)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (b *BatchController) RestoreState(r *snap.Reader) error {
+	return signal.RestoreStates(r, b.juncs)
+}

@@ -1,0 +1,224 @@
+package event
+
+import (
+	"strings"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/sensing"
+)
+
+// compileNet builds the smallest grid with named roads for compile
+// tests: one junction (J00) with four entries (in-<side>-J00, bounded)
+// and four exits (out-<side>-J00, unbounded sinks).
+func compileNet(t *testing.T) *network.Network {
+	t.Helper()
+	g, err := network.Grid(network.GridSpec{
+		Rows: 1, Cols: 1, Spacing: 300, Speed: 13.9, Capacity: 120, Mu: 1,
+	})
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	return g.Network
+}
+
+// TestCompileEmptyAndNilSchedule pins the "no disruptions" encoding:
+// an empty spec list compiles to a nil *Schedule, and every accessor
+// of a nil schedule is safe and returns its zero answer.
+func TestCompileEmptyAndNilSchedule(t *testing.T) {
+	s, err := Compile(compileNet(t), 1, nil)
+	if err != nil {
+		t.Fatalf("Compile(nil specs): %v", err)
+	}
+	if s != nil {
+		t.Fatalf("Compile(nil specs) = %+v, want nil schedule", s)
+	}
+	if got := s.Transitions(); got != nil {
+		t.Errorf("nil.Transitions() = %v, want nil", got)
+	}
+	if s.NumRoads() != 0 || s.NumLinks() != 0 || s.DeltaT() != 0 || s.Summary() != "" {
+		t.Errorf("nil schedule accessors not zero: roads=%d links=%d dt=%v summary=%q",
+			s.NumRoads(), s.NumLinks(), s.DeltaT(), s.Summary())
+	}
+	if base := func(network.RoadID, float64) float64 { return 1 }; s.WrapRate(base) == nil {
+		t.Errorf("nil.WrapRate(base) = nil, want base unchanged")
+	}
+}
+
+// TestCompileTouchingIncidentWindows pins the same-step boundary
+// semantics of back-to-back windows on one target: one window ending
+// exactly where the next starts is not an overlap, and at the shared
+// step the revert (capacity restored to nominal) sorts before the next
+// apply — the stable-sort tie-break Compile documents.
+func TestCompileTouchingIncidentWindows(t *testing.T) {
+	net := compileNet(t)
+	s, err := Compile(net, 1, []Spec{
+		Incident("in-west-J00", 10, 10, 0.5),
+		Incident("in-west-J00", 20, 15, 0.25),
+	})
+	if err != nil {
+		t.Fatalf("Compile(touching windows): %v", err)
+	}
+	trs := s.Transitions()
+	if len(trs) != 4 {
+		t.Fatalf("got %d transitions, want 4: %+v", len(trs), trs)
+	}
+	wantSteps := []int32{10, 20, 20, 35}
+	for i, tr := range trs {
+		if tr.Step != wantSteps[i] {
+			t.Errorf("transition %d at step %d, want %d", i, tr.Step, wantSteps[i])
+		}
+		if tr.Kind != TransCapacity {
+			t.Errorf("transition %d kind %v, want TransCapacity", i, tr.Kind)
+		}
+	}
+	// At the shared step 20 the first window's revert (nominal 120) must
+	// precede the second window's apply (0.25 × 120 = 30); the reverse
+	// order would leave the road at full capacity through the second
+	// window.
+	if trs[1].Cap != 120 {
+		t.Errorf("step-20 revert installs capacity %d, want nominal 120", trs[1].Cap)
+	}
+	if trs[2].Cap != 30 {
+		t.Errorf("step-20 apply installs capacity %d, want reduced 30", trs[2].Cap)
+	}
+}
+
+// TestCompileRejectsOverlappingIncidents pins the overlap error: its
+// text names the window kind, the target road, and both offending
+// specs in their round-trippable spec syntax.
+func TestCompileRejectsOverlappingIncidents(t *testing.T) {
+	a := Incident("in-west-J00", 10, 20, 0.5)
+	b := Incident("in-west-J00", 25, 20, 0.25)
+	_, err := Compile(compileNet(t), 1, []Spec{a, b})
+	if err == nil {
+		t.Fatalf("Compile accepted overlapping incident windows")
+	}
+	for _, want := range []string{
+		`overlapping incident windows on "in-west-J00"`,
+		a.String(),
+		b.String(),
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("overlap error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestCompileOverlapAcrossTargetsAllowed pins that the overlap check is
+// per target: simultaneous windows on different roads (and an outage on
+// a third) compile fine.
+func TestCompileOverlapAcrossTargetsAllowed(t *testing.T) {
+	_, err := Compile(compileNet(t), 1, []Spec{
+		Incident("in-west-J00", 10, 60, 0.5),
+		Incident("in-east-J00", 10, 60, 0.5),
+		Outage("in-west-J00", 10, 60, sensing.OutageBlank),
+	})
+	if err != nil {
+		t.Fatalf("Compile(cross-target overlap): %v", err)
+	}
+}
+
+// TestCompileDarkOverlapUsesReleaseStep pins that dark-window overlap
+// is checked against the policy's actual release step, not the
+// scheduled end: the default policy (6 s all-red + 15/4 fixed-time
+// segments) holds a dur=10 window until step 6 + 19 = 25, so a second
+// window at t0=12 collides even though the scheduled windows are
+// disjoint.
+func TestCompileDarkOverlapUsesReleaseStep(t *testing.T) {
+	net := compileNet(t)
+	s, err := Compile(net, 1, []Spec{Dark("J00", 0, 10)})
+	if err != nil {
+		t.Fatalf("Compile(single dark): %v", err)
+	}
+	trs := s.Transitions()
+	if len(trs) != 2 || trs[1].Kind != TransDarkOff {
+		t.Fatalf("single dark compiled to %+v, want [TransDarkOn, TransDarkOff]", trs)
+	}
+	if trs[1].Step != 25 {
+		t.Errorf("dark release at step %d, want 25 (6 all-red + one 19-step segment)", trs[1].Step)
+	}
+	_, err = Compile(net, 1, []Spec{Dark("J00", 0, 10), Dark("J00", 12, 5)})
+	if err == nil {
+		t.Fatalf("Compile accepted a dark window inside the previous window's release tail")
+	}
+	if !strings.Contains(err.Error(), `overlapping dark windows on "J00"`) {
+		t.Errorf("release-tail overlap error = %q, want it to name the dark windows on J00", err)
+	}
+}
+
+// TestCompileMiniSlotBoundaries pins the seconds-to-step conversion at
+// its edges: fractional deltaT scales the step indices, and a duration
+// shorter than one mini-slot still occupies one full slot (a
+// zero-length window would compile apply and revert onto the same step
+// and the disruption would never be observable).
+func TestCompileMiniSlotBoundaries(t *testing.T) {
+	net := compileNet(t)
+	s, err := Compile(net, 0.5, []Spec{Incident("in-west-J00", 10, 15, 0.5)})
+	if err != nil {
+		t.Fatalf("Compile(deltaT=0.5): %v", err)
+	}
+	trs := s.Transitions()
+	if trs[0].Step != 20 || trs[1].Step != 50 {
+		t.Errorf("deltaT=0.5 window at steps [%d, %d), want [20, 50)", trs[0].Step, trs[1].Step)
+	}
+	s, err = Compile(net, 1, []Spec{Incident("in-west-J00", 40, 0.2, 0.5)})
+	if err != nil {
+		t.Fatalf("Compile(sub-slot duration): %v", err)
+	}
+	trs = s.Transitions()
+	if trs[0].Step != 40 || trs[1].Step != 41 {
+		t.Errorf("sub-slot window at steps [%d, %d), want the one-slot minimum [40, 41)", trs[0].Step, trs[1].Step)
+	}
+	if _, err := Compile(net, 0, []Spec{Surge(0, 10, 2)}); err == nil {
+		t.Errorf("Compile accepted deltaT = 0")
+	}
+}
+
+// TestCompileSurgeOverlapComposes pins the surge exception to the
+// overlap rule: overlapping surges are legal and compose
+// multiplicatively inside WrapRate, with half-open [t0, end) windows.
+func TestCompileSurgeOverlapComposes(t *testing.T) {
+	s, err := Compile(compileNet(t), 1, []Spec{
+		Surge(0, 100, 1.5),
+		Surge(50, 100, 2),
+	})
+	if err != nil {
+		t.Fatalf("Compile(overlapping surges): %v", err)
+	}
+	rate := s.WrapRate(func(network.RoadID, float64) float64 { return 2 })
+	for _, tc := range []struct {
+		t    float64
+		want float64
+	}{
+		{25, 3},  // first surge only
+		{75, 6},  // both compose: 2 × 1.5 × 2
+		{125, 4}, // second surge only
+		{100, 4}, // first window is half-open: excluded at its end
+		{150, 2}, // second window's end, also excluded
+	} {
+		if got := rate(0, tc.t); got != tc.want {
+			t.Errorf("wrapped rate at t=%v = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+// TestCompileRejectsUntargetableRoads pins the two "this road cannot
+// host that disruption" errors: incidents need a bounded road and
+// outages need a road that feeds a junction link — exit roads toward
+// terminals satisfy neither.
+func TestCompileRejectsUntargetableRoads(t *testing.T) {
+	net := compileNet(t)
+	_, err := Compile(net, 1, []Spec{Incident("out-west-J00", 10, 20, 0.5)})
+	if err == nil || !strings.Contains(err.Error(), "unbounded road") {
+		t.Errorf("incident on exit road: err = %v, want unbounded-road rejection", err)
+	}
+	_, err = Compile(net, 1, []Spec{Outage("out-west-J00", 10, 20, sensing.OutageBlank)})
+	if err == nil || !strings.Contains(err.Error(), "no detector to fail") {
+		t.Errorf("outage on exit road: err = %v, want no-detector rejection", err)
+	}
+	_, err = Compile(net, 1, []Spec{Incident("no-such-road", 10, 20, 0.5)})
+	if err == nil || !strings.Contains(err.Error(), `no road named "no-such-road"`) {
+		t.Errorf("incident on unknown road: err = %v, want unknown-name rejection", err)
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"utilbp/internal/chaos"
+)
+
+// ChaosSweep is the soak entrypoint over the randomized fault-injection
+// harness (internal/chaos): it drills n consecutive generator seeds
+// starting at firstSeed — each a random-but-valid disruption schedule
+// crossed with a random grid, controller family and sensor — asserting
+// invariants, snapshot/restore equivalence and Reset replay per
+// scenario. Scenarios are independent, so they run on a GOMAXPROCS
+// pool; the returned descriptions are in seed order. Use it to soak
+// far past the CI fuzz smoke's budget:
+//
+//	descs, err := experiment.ChaosSweep(1, 10000)
+func ChaosSweep(firstSeed uint64, n int) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiment: ChaosSweep needs n > 0 scenarios, got %d", n)
+	}
+	descs := make([]string, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc, err := chaos.Generate(firstSeed + uint64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			descs[i] = sc.Describe()
+			errs[i] = chaos.Drill(sc)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return descs, nil
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import "testing"
+
+// TestChaosSweep smokes the soak entrypoint: a handful of consecutive
+// chaos seeds must drill clean and report one description per seed, in
+// seed order.
+func TestChaosSweep(t *testing.T) {
+	descs, err := ChaosSweep(100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 6 {
+		t.Fatalf("%d descriptions, want 6", len(descs))
+	}
+	for i, d := range descs {
+		if d == "" {
+			t.Fatalf("description %d empty", i)
+		}
+	}
+}
+
+// TestChaosSweepRejectsEmpty pins the error path for a zero-scenario
+// soak.
+func TestChaosSweepRejectsEmpty(t *testing.T) {
+	if _, err := ChaosSweep(1, 0); err == nil {
+		t.Fatal("ChaosSweep accepted n=0")
+	}
+}

@@ -267,6 +267,20 @@ func DefaultMatrixControllers() []scenario.ControllerSpec {
 	}
 }
 
+// PenetrationMatrixSweep crosses the connected-vehicle penetration
+// axis (the perfect reference plus cv:<rate> for each rate; nil rates
+// use DefaultPenetrationRates) through the matrix for every controller
+// family of DefaultMatrixControllers — the full sensing × control cross
+// the per-family PenetrationSweep (UTIL-BP only) does not cover. Rows
+// come back in MatrixSweep's plan order: workload-major, then
+// controller, then the penetration axis from perfect to cv:1.
+func PenetrationMatrixSweep(workloadNames []string, rates []float64, seeds []uint64, durationSec float64) ([]MatrixStats, error) {
+	if len(rates) == 0 {
+		rates = DefaultPenetrationRates()
+	}
+	return MatrixSweep(workloadNames, DefaultMatrixControllers(), PenetrationSpecs(rates), seeds, durationSec)
+}
+
 // FormatMatrixStats renders the matrix sweep as a papereval-style
 // table, grouped by workload.
 func FormatMatrixStats(rows []MatrixStats, seeds []uint64) string {

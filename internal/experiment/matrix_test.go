@@ -101,3 +101,32 @@ func TestMatrixSweepValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestPenetrationMatrixSweep crosses the connected-vehicle penetration
+// axis through every controller family of the default matrix and checks
+// the plan-order contract: rows grouped per controller with the sensor
+// axis running perfect, then the cv rates in ascending order, for every
+// family — the full sensing × control cross of DESIGN.md §13.
+func TestPenetrationMatrixSweep(t *testing.T) {
+	rates := []float64{0.3, 0.8}
+	rows, err := PenetrationMatrixSweep([]string{"paper-grid"}, rates, []uint64{1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controllers := DefaultMatrixControllers()
+	wantSensors := PenetrationSpecs(rates)
+	if len(rows) != len(controllers)*len(wantSensors) {
+		t.Fatalf("%d rows, want %d", len(rows), len(controllers)*len(wantSensors))
+	}
+	for i, r := range rows {
+		if want := controllers[i/len(wantSensors)]; r.Controller != want {
+			t.Fatalf("row %d: controller %v, want %v", i, r.Controller, want)
+		}
+		if want := wantSensors[i%len(wantSensors)]; r.Sensor != want {
+			t.Fatalf("row %d: sensor %v, want %v", i, r.Sensor, want)
+		}
+		if r.Mean <= 0 {
+			t.Fatalf("degenerate row %+v: mean wait must be positive", r)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package gapout
+
+import (
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+)
+
+// SnapshotState implements signal.Snapshotter: the actuated controller
+// is the most stateful of the zoo — its active/pending phase rotation
+// and all three interacting timers (green age, detection clock, amber
+// countdown) must survive a restore for the replay to stay bit-for-bit.
+func (c *Controller) SnapshotState(w *snap.Writer) {
+	w.Int(int(c.active))
+	w.Int(int(c.pending))
+	w.Int(c.greenStart)
+	w.Int(c.lastDemand)
+	w.Int(c.amberUntil)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (c *Controller) RestoreState(r *snap.Reader) error {
+	c.active = signal.Phase(r.Int())
+	c.pending = signal.Phase(r.Int())
+	c.greenStart = r.Int()
+	c.lastDemand = r.Int()
+	c.amberUntil = r.Int()
+	return r.Err()
+}

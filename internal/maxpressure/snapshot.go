@@ -1,0 +1,37 @@
+package maxpressure
+
+import (
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+)
+
+// SnapshotState implements signal.Snapshotter: the phase timers keyed
+// on the observed applied phase — the last seen Current, the green
+// onset step and the self-commanded amber deadline. The weight slab is
+// per-Decide scratch.
+func (c *Controller) SnapshotState(w *snap.Writer) {
+	w.Int(int(c.prevCur))
+	w.Int(c.greenStart)
+	w.Int(c.amberUntil)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (c *Controller) RestoreState(r *snap.Reader) error {
+	c.prevCur = signal.Phase(r.Int())
+	c.greenStart = r.Int()
+	c.amberUntil = r.Int()
+	return r.Err()
+}
+
+// SnapshotState implements signal.Snapshotter by delegating to the
+// per-junction controllers; the weight slab and primed flag are cache
+// rebuilt by the first post-restore full sweep (the link weight is a
+// pure function of the observation).
+func (b *BatchController) SnapshotState(w *snap.Writer) {
+	signal.SnapshotStates(w, b.juncs)
+}
+
+// RestoreState implements signal.Snapshotter.
+func (b *BatchController) RestoreState(r *snap.Reader) error {
+	return signal.RestoreStates(r, b.juncs)
+}

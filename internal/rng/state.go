@@ -1,0 +1,21 @@
+package rng
+
+// State returns the generator's internal xoshiro256** state word
+// vector, the value SetState rewinds to. It exists for the engine
+// snapshot/restore layer (DESIGN.md §14): capturing a source's state
+// and restoring it later resumes the exact output sequence, which is
+// what makes restored runs bit-for-bit identical to uninterrupted
+// ones.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState installs a state vector previously obtained from State.
+// Arbitrary vectors are accepted except all-zero, which xoshiro cannot
+// leave; it is replaced by the same escape constant New uses, so a
+// corrupted snapshot degrades to a fixed stream instead of a stuck
+// generator.
+func (r *Source) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}

@@ -412,6 +412,85 @@ func (s Setup) WithCentralIncident(t0, dur, capFrac float64) (Setup, error) {
 	return s, nil
 }
 
+// WithAreaIncident returns a copy of the setup carrying a k×k area
+// incident centered on the grid's middle junction: every approach road
+// entering a junction of the neighborhood drops to capFrac of nominal
+// capacity for [t0, t0+dur) seconds. It models an area-wide incident —
+// a closed-off district, flooding, a parade route — rather than
+// WithCentralIncident's single blocked link, and is the severity axis
+// of the PR 8 stress study (experiment.StressSweep).
+func (s Setup) WithAreaIncident(k int, t0, dur, capFrac float64) (Setup, error) {
+	s = s.withDefaults()
+	return s.WithAreaIncidentAt(s.Grid.Rows/2, s.Grid.Cols/2, k, t0, dur, capFrac)
+}
+
+// WithCornerAreaIncident anchors the k×k area incident at the grid's
+// top-right junction — the corner the paper plots and the region the
+// boundary demand loads first, so the closure binds even on horizons
+// where a central area would sit in the fill transient's empty middle.
+// It is the severity knob of experiment.StressSweep, the area-shaped
+// sibling of WithCentralIncident.
+func (s Setup) WithCornerAreaIncident(k int, t0, dur, capFrac float64) (Setup, error) {
+	s = s.withDefaults()
+	return s.WithAreaIncidentAt(0, s.Grid.Cols-1, k, t0, dur, capFrac)
+}
+
+// WithAreaIncidentAt is WithAreaIncident anchored at an explicit
+// junction (row, col): the affected neighborhood is the k×k block of
+// junctions centered there, clamped to the grid. Each road enters
+// exactly one junction, so the emitted incident specs are disjoint by
+// construction and pass event.Compile's overlap rejection.
+func (s Setup) WithAreaIncidentAt(row, col, k int, t0, dur, capFrac float64) (Setup, error) {
+	s = s.withDefaults()
+	if k < 1 {
+		return Setup{}, fmt.Errorf("scenario: area incident size k=%d must be >= 1", k)
+	}
+	g, err := network.Grid(s.Grid)
+	if err != nil {
+		return Setup{}, err
+	}
+	if row < 0 || row >= g.Rows() || col < 0 || col >= g.Cols() {
+		return Setup{}, fmt.Errorf("scenario: area incident center (%d,%d) outside %dx%d grid",
+			row, col, g.Rows(), g.Cols())
+	}
+	r0, r1 := clampRange(row-(k-1)/2, k, g.Rows())
+	c0, c1 := clampRange(col-(k-1)/2, k, g.Cols())
+	events := append([]event.Spec(nil), s.Events...)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			j := g.Junction(g.JunctionAt(r, c))
+			for _, dir := range network.Dirs {
+				rid := j.In[dir]
+				if rid == network.NoRoad {
+					continue
+				}
+				spec := event.Incident(g.Road(rid).Name, t0, dur, capFrac)
+				if err := spec.Validate(); err != nil {
+					return Setup{}, err
+				}
+				events = append(events, spec)
+			}
+		}
+	}
+	s.Events = events
+	return s, nil
+}
+
+// clampRange shifts a half-open [start, start+k) window to fit [0, n),
+// shrinking only when k exceeds n.
+func clampRange(start, k, n int) (int, int) {
+	if k > n {
+		return 0, n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start+k > n {
+		start = n - k
+	}
+	return start, start + k
+}
+
 // TopRight returns the north-eastern junction the paper plots in
 // Figures 3-5.
 func TopRight(g *network.GridNetwork) network.NodeID {

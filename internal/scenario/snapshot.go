@@ -1,0 +1,26 @@
+package scenario
+
+import "utilbp/internal/snap"
+
+// SnapshotState implements snap.Snapshotter: the router's only mutable
+// state is its route-choice RNG stream — the interned route layout and
+// table are immutable artifact structure.
+func (r *Router) SnapshotState(w *snap.Writer) {
+	st := r.src.State()
+	for _, v := range st {
+		w.Uint64(v)
+	}
+}
+
+// RestoreState implements snap.Snapshotter.
+func (r *Router) RestoreState(rd *snap.Reader) error {
+	var st [4]uint64
+	for i := range st {
+		st[i] = rd.Uint64()
+	}
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	r.src.SetState(st)
+	return nil
+}

@@ -157,6 +157,25 @@ func init() {
 		Pattern:         PatternII,
 		SweepHorizonSec: 300,
 	})
+	area, err := gridSetup(16, 16).WithCornerAreaIncident(3, 60, 120, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	MustRegisterWorkload(Workload{
+		Name:            "city-grid-area-incident",
+		Description:     "the 16×16 city grid with a 3×3-junction area incident at the loaded top-right corner — every approach of the district drops to 10% capacity mid-run (the stress-study scenario, DESIGN.md §14)",
+		Setup:           area,
+		Pattern:         PatternII,
+		SweepHorizonSec: 300,
+	})
+	saturated := Default()
+	saturated.DemandScale = 1.5
+	MustRegisterWorkload(Workload{
+		Name:        "saturation-grid",
+		Description: "3×3 grid under uniform demand scaled 1.5× past the paper's operating point — the oversaturated stress where queues approach capacity",
+		Setup:       saturated,
+		Pattern:     PatternII,
+	})
 	estimated := Default()
 	estimated.Sensor = sensing.CV(0.3)
 	MustRegisterWorkload(Workload{

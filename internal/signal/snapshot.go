@@ -1,0 +1,67 @@
+package signal
+
+import (
+	"fmt"
+
+	"utilbp/internal/snap"
+)
+
+// Snapshotter is the optional interface stateful controllers (and other
+// engine collaborators) implement to participate in engine
+// snapshot/restore (DESIGN.md §14). It is an alias of snap.Snapshotter
+// so one contract covers controllers, sensors, demand processes and
+// routers alike: SnapshotState appends the component's mutable state,
+// RestoreState rewinds it, and the two are exact inverses. A controller
+// that keeps no cross-step state (e.g. pretimed) simply does not
+// implement it — the engine records an empty state section and restores
+// it as a fresh build.
+type Snapshotter = snap.Snapshotter
+
+// SnapshotStates appends one length-prefixed state section per item, an
+// empty section for items that are not Snapshotters. It is the shared
+// serialization of controller collections: batched controllers delegate
+// to their per-junction controllers through it, and the engine uses the
+// same layout for its per-junction controller list, so the controller
+// state bytes are identical across dispatch modes that wrap the same
+// per-junction controllers.
+func SnapshotStates[T any](w *snap.Writer, items []T) {
+	for _, it := range items {
+		if s, ok := any(it).(Snapshotter); ok {
+			w.Section(s.SnapshotState)
+		} else {
+			w.Section(func(*snap.Writer) {})
+		}
+	}
+}
+
+// RestoreStates is the inverse of SnapshotStates: each item consumes
+// its own section. A non-Snapshotter item must find an empty section
+// (state captured from a stateful controller cannot restore into a
+// stateless one), and every Snapshotter must consume its section
+// exactly.
+func RestoreStates[T any](r *snap.Reader, items []T) error {
+	for i, it := range items {
+		sub := r.Section()
+		if s, ok := any(it).(Snapshotter); ok {
+			if err := s.RestoreState(sub); err != nil {
+				return fmt.Errorf("signal: controller %d: %w", i, err)
+			}
+		}
+		if err := sub.Close(); err != nil {
+			return fmt.Errorf("signal: controller %d state: %w", i, err)
+		}
+	}
+	return r.Err()
+}
+
+// SnapshotState implements Snapshotter by delegating to the wrapped
+// per-junction controllers, so forced-batched dispatch snapshots
+// exactly like the per-junction loop it adapts.
+func (a *batchedAdapter) SnapshotState(w *snap.Writer) {
+	SnapshotStates(w, a.ctrls)
+}
+
+// RestoreState implements Snapshotter.
+func (a *batchedAdapter) RestoreState(r *snap.Reader) error {
+	return RestoreStates(r, a.ctrls)
+}

@@ -1,0 +1,470 @@
+// Engine snapshot/restore (DESIGN.md §14): a versioned, deterministic,
+// byte-exact capture of all mutable engine state. The stream is a pure
+// function of that state — two snapshots of identical engine states
+// compare equal with bytes.Equal — so the snapshot doubles as a state
+// hash: the equivalence tests (and the chaos harness) pin "restore at
+// step k, run to N" against "run to N uninterrupted" by comparing the
+// final snapshot bytes.
+//
+// A snapshot is taken and restored between mini-slots (after stepOnce
+// returns), which is what keeps the per-step scratch out of the format:
+// the batch change set is empty at every inter-step point (sense fills
+// it, the same step's control drains it), the link refresh stamps only
+// matter within the step that wrote them, and the controllers' gain
+// slabs are per-decision scratch. Restore rebuilds the control plane
+// and re-arms a full sweep (AllChanged), which recomputes exactly the
+// cached values the uninterrupted run carries — the gain caches are pure
+// functions of the observation, so the next decision is bit-identical.
+package sim
+
+import (
+	"fmt"
+
+	"utilbp/internal/network"
+	"utilbp/internal/signal"
+	"utilbp/internal/snap"
+	"utilbp/internal/vehicle"
+)
+
+const (
+	// snapshotMagic brands a byte stream as an engine snapshot
+	// ("utilbpsn", little-endian).
+	snapshotMagic uint64 = 0x6e73_7062_6c69_7475
+	// snapshotVersion is bumped whenever the layout changes; Restore
+	// rejects any other version. There is no cross-version migration —
+	// snapshots are checkpoints of a running experiment, not archives.
+	snapshotVersion uint64 = 1
+)
+
+// Snapshot captures the engine's complete mutable state as a versioned
+// byte stream: step and conservation counters, every road's lanes,
+// travel heap and effective capacity, the vehicle arena, per-junction
+// phase and dark-mode state, the observation (and sensed-truth) slabs,
+// the pending dirty-road set, the event cursor, and the state of every
+// stateful collaborator (demand, router, sensor, controllers) via
+// snap.Snapshotter. Registered hooks are NOT captured — like Reset,
+// restore discards them.
+//
+// The stream is deterministic: equal engine states yield equal bytes.
+// Restore on an engine built from an equivalent Config resumes the run
+// bit-for-bit.
+func (e *Engine) Snapshot() []byte {
+	w := snap.NewWriter(e.snapshotSizeHint())
+	w.Uint64(snapshotMagic)
+	w.Uint64(snapshotVersion)
+
+	// Fingerprint: the structural facts a restore target must match.
+	w.Int(len(e.roads))
+	w.Int(len(e.juncs))
+	w.Int(e.numLinks)
+	w.Float64(e.dt)
+	w.Bool(e.cfg.MixedLanes)
+	w.Int(e.cfg.StartupLostSteps)
+	w.Bool(e.batchCtrl != nil)
+	w.String(e.cfg.Controllers.Name())
+	if e.sensor != nil {
+		w.String(e.sensor.Name())
+	} else {
+		w.String("")
+	}
+	if e.events != nil {
+		w.Int(len(e.events.Transitions()))
+	} else {
+		w.Int(0)
+	}
+
+	// Engine scalars.
+	w.Int(e.step)
+	w.Int(e.totals.Spawned)
+	w.Int(e.totals.Entered)
+	w.Int(e.totals.Exited)
+	w.Int(e.totals.Served)
+	w.Int(e.totals.RouteFallbacks)
+	w.Bool(e.finalized)
+	w.Int(e.evCursor)
+
+	// Roads: counters, effective capacity, lanes and the travel heap.
+	for i := range e.roads {
+		rs := &e.roads[i]
+		w.Int(rs.effCap)
+		w.Int(rs.occupancy)
+		w.Int(rs.queuedTotal)
+		for t := 0; t < numTurns; t++ {
+			w.Int(rs.transit[t])
+			w.Int(rs.mixedCount[t])
+			w.Int(rs.joins[t])
+		}
+		for t := 0; t < numTurns; t++ {
+			rs.lanes[t].SnapshotState(w)
+		}
+		rs.mixed.SnapshotState(w)
+		rs.spawn.SnapshotState(w)
+		rs.tail.SnapshotState(w)
+	}
+
+	// Vehicle arena with the parallel pending-movement array.
+	w.Int(len(e.vehs))
+	for i := range e.vehs {
+		v := &e.vehs[i]
+		w.Int32(int32(v.ID))
+		w.Uint64(uint64(v.Route))
+		w.Int(int(v.EntryRoad))
+		w.Float64(v.SpawnedAt)
+		w.Float64(v.EnteredAt)
+		w.Float64(v.ExitedAt)
+		w.Float64(v.QueueWait)
+		w.Int(v.Junctions)
+		w.Int32(int32(e.pendingTurn[i]))
+	}
+
+	// Junctions: phase pair, dark-mode state, service credits.
+	for i := range e.juncs {
+		js := &e.juncs[i]
+		w.Int(int(js.current))
+		w.Int(int(js.prev))
+		w.Int32(js.darkSince)
+		w.Int(js.darkPol.AllRedSteps)
+		w.Int(js.darkPol.GreenSteps)
+		w.Int(js.darkPol.AmberSteps)
+		for _, c := range js.credits {
+			w.Float64(c)
+		}
+	}
+
+	// Observation slab; under a sensor the separate truth slab follows.
+	writeObsSlab(w, e.obsSlab)
+	w.Bool(e.sensor != nil)
+	if e.sensor != nil {
+		writeObsSlab(w, e.truthSlab[:e.numLinks])
+	}
+
+	// Pending dirty-road set, in marking order: the order fixes the
+	// refresh (and hence sensor-draw) sequence of the next mini-slot.
+	w.Int(len(e.dirtyRoads))
+	for _, rd := range e.dirtyRoads {
+		w.Int32(rd)
+	}
+
+	// Stateful collaborators, each in its own bounded section.
+	writeComponent(w, e.cfg.Demand)
+	writeComponent(w, e.cfg.Router)
+	writeComponent(w, e.sensor)
+	w.Section(func(cw *snap.Writer) {
+		if e.batchCtrl != nil {
+			writeComponent(cw, e.batchCtrl)
+			return
+		}
+		for i := range e.juncs {
+			writeComponent(cw, e.juncs[i].ctrl)
+		}
+	})
+	return w.Bytes()
+}
+
+// Restore rewinds the engine to the state a prior Snapshot captured.
+// The engine must be built from an equivalent Config (same network
+// structure, controller factory, sensor and event schedule) — the
+// snapshot's structural fingerprint is validated and mismatches
+// rejected. Like Reset, controllers are rebuilt through the factory
+// (their captured state is then restored into the fresh instances) and
+// registered hooks are discarded. On error the engine state is
+// undefined; Reset it or discard it.
+func (e *Engine) Restore(data []byte) error {
+	r := snap.NewReader(data)
+	if m := r.Uint64(); r.Err() == nil && m != snapshotMagic {
+		return fmt.Errorf("sim: not an engine snapshot (magic %#x)", m)
+	}
+	if v := r.Uint64(); r.Err() == nil && v != snapshotVersion {
+		return fmt.Errorf("sim: snapshot version %d, engine supports %d", v, snapshotVersion)
+	}
+	if err := e.checkFingerprint(r); err != nil {
+		return err
+	}
+
+	// Fresh controllers with a full sweep armed; their captured state is
+	// restored below, and the first post-restore sweep recomputes the
+	// gain caches bit-exactly (pure functions of the observation).
+	if err := e.buildControlPlane(); err != nil {
+		return err
+	}
+
+	e.step = r.Int()
+	e.totals.Spawned = r.Int()
+	e.totals.Entered = r.Int()
+	e.totals.Exited = r.Int()
+	e.totals.Served = r.Int()
+	e.totals.RouteFallbacks = r.Int()
+	e.finalized = r.Bool()
+	e.evCursor = r.Int()
+
+	for i := range e.roads {
+		rs := &e.roads[i]
+		rs.effCap = r.Int()
+		rs.occupancy = r.Int()
+		rs.queuedTotal = r.Int()
+		for t := 0; t < numTurns; t++ {
+			rs.transit[t] = r.Int()
+			rs.mixedCount[t] = r.Int()
+			rs.joins[t] = r.Int()
+		}
+		for t := 0; t < numTurns; t++ {
+			if err := rs.lanes[t].RestoreState(r); err != nil {
+				return fmt.Errorf("sim: road %d lane %d: %w", i, t, err)
+			}
+		}
+		if err := rs.mixed.RestoreState(r); err != nil {
+			return fmt.Errorf("sim: road %d mixed lane: %w", i, err)
+		}
+		if err := rs.spawn.RestoreState(r); err != nil {
+			return fmt.Errorf("sim: road %d spawn queue: %w", i, err)
+		}
+		if err := rs.tail.RestoreState(r); err != nil {
+			return fmt.Errorf("sim: road %d travel heap: %w", i, err)
+		}
+	}
+
+	nv := r.Int()
+	if r.Err() == nil && (nv < 0 || nv > r.Len()) {
+		return fmt.Errorf("sim: snapshot vehicle count %d exceeds stream", nv)
+	}
+	if r.Err() == nil {
+		e.vehs = growTo(e.vehs, nv)
+		e.pendingTurn = growTo(e.pendingTurn, nv)
+	}
+	for i := 0; i < nv && r.Err() == nil; i++ {
+		v := &e.vehs[i]
+		v.ID = vehicle.ID(r.Int32())
+		v.Route = vehicle.RouteID(r.Uint64())
+		v.EntryRoad = network.RoadID(r.Int())
+		v.SpawnedAt = r.Float64()
+		v.EnteredAt = r.Float64()
+		v.ExitedAt = r.Float64()
+		v.QueueWait = r.Float64()
+		v.Junctions = r.Int()
+		e.pendingTurn[i] = network.Turn(r.Int32())
+	}
+
+	for i := range e.juncs {
+		js := &e.juncs[i]
+		js.current = signal.Phase(r.Int())
+		js.prev = signal.Phase(r.Int())
+		js.darkSince = r.Int32()
+		js.darkPol.AllRedSteps = r.Int()
+		js.darkPol.GreenSteps = r.Int()
+		js.darkPol.AmberSteps = r.Int()
+		for li := range js.credits {
+			js.credits[li] = r.Float64()
+		}
+	}
+
+	readObsSlab(r, e.obsSlab)
+	sensed := r.Bool()
+	if r.Err() == nil && sensed != (e.sensor != nil) {
+		return fmt.Errorf("sim: snapshot sensed=%v, engine sensed=%v", sensed, e.sensor != nil)
+	}
+	if sensed {
+		readObsSlab(r, e.truthSlab[:e.numLinks])
+	}
+
+	// Dirty set: clear the engine's current flags, then install the
+	// snapshot's list verbatim (order fixes the next refresh sequence).
+	for _, rd := range e.dirtyRoads {
+		e.roadDirty[rd] = false
+	}
+	e.dirtyRoads = e.dirtyRoads[:0]
+	nd := r.Int()
+	if r.Err() == nil && (nd < 0 || nd > len(e.roads)) {
+		return fmt.Errorf("sim: snapshot dirty-road count %d for %d roads", nd, len(e.roads))
+	}
+	for i := 0; i < nd && r.Err() == nil; i++ {
+		rd := r.Int32()
+		if rd < 0 || int(rd) >= len(e.roads) {
+			return fmt.Errorf("sim: snapshot dirty road %d out of range", rd)
+		}
+		e.dirtyRoads = append(e.dirtyRoads, rd)
+		e.roadDirty[rd] = true
+	}
+
+	// Refresh stamps only deduplicate within the step that wrote them;
+	// at inter-step points every stamp is stale, so -1 is equivalent.
+	for i := range e.linkSeen {
+		e.linkSeen[i] = -1
+	}
+
+	// Hooks belong to the interrupted run's recorders, exactly as in
+	// Reset: discard them.
+	clear(e.hooks)
+	e.hooks = e.hooks[:0]
+	e.hasPhaseHook, e.hasExitHook, e.hasStepHook = false, false, false
+
+	if err := readComponent(r, e.cfg.Demand, "demand process"); err != nil {
+		return err
+	}
+	if err := readComponent(r, e.cfg.Router, "router"); err != nil {
+		return err
+	}
+	if err := readComponent(r, e.sensor, "sensor"); err != nil {
+		return err
+	}
+	cr := r.Section()
+	if e.batchCtrl != nil {
+		if err := readComponent(cr, e.batchCtrl, "batched controller"); err != nil {
+			return err
+		}
+	} else {
+		for i := range e.juncs {
+			what := fmt.Sprintf("controller %q", e.juncs[i].info.Label)
+			if err := readComponent(cr, e.juncs[i].ctrl, what); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cr.Close(); err != nil {
+		return fmt.Errorf("sim: restore controllers: %w", err)
+	}
+	return r.Close()
+}
+
+// checkFingerprint validates the snapshot's structural facts against
+// the engine, so a restore into an incompatible engine fails loudly
+// instead of silently diverging.
+func (e *Engine) checkFingerprint(r *snap.Reader) error {
+	if n := r.Int(); r.Err() == nil && n != len(e.roads) {
+		return fmt.Errorf("sim: snapshot has %d roads, engine has %d", n, len(e.roads))
+	}
+	if n := r.Int(); r.Err() == nil && n != len(e.juncs) {
+		return fmt.Errorf("sim: snapshot has %d junctions, engine has %d", n, len(e.juncs))
+	}
+	if n := r.Int(); r.Err() == nil && n != e.numLinks {
+		return fmt.Errorf("sim: snapshot has %d links, engine has %d", n, e.numLinks)
+	}
+	if dt := r.Float64(); r.Err() == nil && dt != e.dt {
+		return fmt.Errorf("sim: snapshot Δt=%v, engine Δt=%v", dt, e.dt)
+	}
+	if m := r.Bool(); r.Err() == nil && m != e.cfg.MixedLanes {
+		return fmt.Errorf("sim: snapshot mixed-lanes=%v, engine mixed-lanes=%v", m, e.cfg.MixedLanes)
+	}
+	if s := r.Int(); r.Err() == nil && s != e.cfg.StartupLostSteps {
+		return fmt.Errorf("sim: snapshot startup-lost-steps=%d, engine has %d", s, e.cfg.StartupLostSteps)
+	}
+	if b := r.Bool(); r.Err() == nil && b != (e.batchCtrl != nil) {
+		return fmt.Errorf("sim: snapshot batched=%v, engine batched=%v", b, e.batchCtrl != nil)
+	}
+	if f := r.String(); r.Err() == nil && f != e.cfg.Controllers.Name() {
+		return fmt.Errorf("sim: snapshot controller family %q, engine has %q", f, e.cfg.Controllers.Name())
+	}
+	sn := ""
+	if e.sensor != nil {
+		sn = e.sensor.Name()
+	}
+	if s := r.String(); r.Err() == nil && s != sn {
+		return fmt.Errorf("sim: snapshot sensor %q, engine has %q", s, sn)
+	}
+	nt := 0
+	if e.events != nil {
+		nt = len(e.events.Transitions())
+	}
+	if n := r.Int(); r.Err() == nil && n != nt {
+		return fmt.Errorf("sim: snapshot schedule has %d transitions, engine schedule has %d", n, nt)
+	}
+	return r.Err()
+}
+
+// snapshotSizeHint estimates the stream size so Snapshot allocates the
+// buffer once; an underestimate only costs an append regrow.
+func (e *Engine) snapshotSizeHint() int {
+	const (
+		roadFixed = 8 * (3 + 3*numTurns + 5 + 2) // counters + lane/heap headers
+		vehBytes  = 8*7 + 4 + 4
+		linkBytes = 8 * (8 + 2*signal.NumTurns)
+	)
+	hint := 512 + len(e.roads)*roadFixed + len(e.vehs)*(vehBytes+24) +
+		e.numLinks*linkBytes + len(e.juncs)*64
+	if e.sensor != nil {
+		hint += e.numLinks * linkBytes
+	}
+	return hint
+}
+
+// writeObsSlab serializes a link-observation slab in full — the dynamic
+// queue fields and the engine-owned capacity/service fields (capacity
+// events mutate the latter mid-run).
+func writeObsSlab(w *snap.Writer, links []signal.LinkObs) {
+	for i := range links {
+		o := &links[i]
+		w.Int(o.Queue)
+		w.Int(o.InTransit)
+		w.Int(o.ApproachQueue)
+		w.Int(o.OutQueue)
+		w.Int(o.OutOccupancy)
+		w.Int(o.OutCapacity)
+		w.Int(o.InCapacity)
+		w.Float64(o.Mu)
+		for t := 0; t < signal.NumTurns; t++ {
+			w.Int(o.OutTurnQueue[t])
+		}
+		for t := 0; t < signal.NumTurns; t++ {
+			w.Int(o.OutTurnJoins[t])
+		}
+	}
+}
+
+// readObsSlab is writeObsSlab's inverse.
+func readObsSlab(r *snap.Reader, links []signal.LinkObs) {
+	for i := range links {
+		o := &links[i]
+		o.Queue = r.Int()
+		o.InTransit = r.Int()
+		o.ApproachQueue = r.Int()
+		o.OutQueue = r.Int()
+		o.OutOccupancy = r.Int()
+		o.OutCapacity = r.Int()
+		o.InCapacity = r.Int()
+		o.Mu = r.Float64()
+		for t := 0; t < signal.NumTurns; t++ {
+			o.OutTurnQueue[t] = r.Int()
+		}
+		for t := 0; t < signal.NumTurns; t++ {
+			o.OutTurnJoins[t] = r.Int()
+		}
+	}
+}
+
+// writeComponent records a collaborator's state in its own bounded
+// section; stateless (or absent) collaborators get an empty one, so the
+// layout does not shift with the configuration.
+func writeComponent(w *snap.Writer, v any) {
+	w.Section(func(sw *snap.Writer) {
+		if s, ok := v.(snap.Snapshotter); ok {
+			s.SnapshotState(sw)
+		}
+	})
+}
+
+// readComponent is writeComponent's inverse: the collaborator consumes
+// its bounded section exactly. A stateful snapshot section paired with a
+// stateless collaborator (or vice versa) fails the Close/decode check.
+func readComponent(r *snap.Reader, v any, what string) error {
+	sub := r.Section()
+	if s, ok := v.(snap.Snapshotter); ok {
+		if err := s.RestoreState(sub); err != nil {
+			return fmt.Errorf("sim: restore %s: %w", what, err)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		return fmt.Errorf("sim: restore %s: %w", what, err)
+	}
+	return nil
+}
+
+// growTo resizes a slice to n elements, reusing capacity when it can —
+// the engine-reuse contract extends to restore: rewinding into a pooled
+// engine does not reallocate its arenas.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	grown := make([]T, n)
+	copy(grown, s[:cap(s)])
+	return grown
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/signal"
+)
+
+// snapTestEngine builds a small 2×2 engine under Poisson demand with a
+// real stateful controller path (the static controller is stateless, so
+// a fixed phase would not exercise the controller sections).
+func snapTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	spec := network.DefaultGridSpec()
+	spec.Rows, spec.Cols = 2, 2
+	spec.Capacity = 40
+	g, err := network.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Net:         g.Network,
+		Controllers: staticFactory(1),
+		Demand:      NewPoissonDemand(rng.New(7), ConstantRate(0.15)),
+		Router:      StraightRouter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSnapshotRoundTripBytes pins the codec's inverse property at the
+// engine level: restoring a snapshot and snapshotting again must
+// reproduce the original bytes exactly (the snapshot doubles as a state
+// hash, so any drift here breaks every equivalence test built on it).
+func TestSnapshotRoundTripBytes(t *testing.T) {
+	e := snapTestEngine(t)
+	e.Run(137)
+	snapA := e.Snapshot()
+	if err := e.Restore(snapA); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	snapB := e.Snapshot()
+	if !bytes.Equal(snapA, snapB) {
+		t.Fatalf("snapshot after restore differs: %d vs %d bytes", len(snapA), len(snapB))
+	}
+}
+
+// TestSnapshotRestoreEquivalence pins the tentpole contract on one
+// engine: capture at step k, run to N, then rewind to the checkpoint
+// and run to N again — the two step-N snapshots must be bit-for-bit
+// identical, and so must the conservation totals.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	const k, n = 83, 240
+	e := snapTestEngine(t)
+	e.Run(k)
+	snapK := e.Snapshot()
+	e.Run(n - k)
+	want := e.Snapshot()
+	wantTotals := e.Totals()
+
+	if err := e.Restore(snapK); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if e.Step() != k {
+		t.Fatalf("restored step=%d, want %d", e.Step(), k)
+	}
+	e.Run(n - k)
+	got := e.Snapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed run diverged from uninterrupted run at step %d", n)
+	}
+	if e.Totals() != wantTotals {
+		t.Fatalf("totals diverged: %+v vs %+v", e.Totals(), wantTotals)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotResetReplay checks a restored-and-resumed engine still
+// resets cleanly into a bit-exact replay of the original run.
+func TestSnapshotResetReplay(t *testing.T) {
+	const k, n = 50, 160
+	e := snapTestEngine(t)
+	e.Run(n)
+	want := e.Snapshot()
+	if err := e.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(k)
+	snapK := e.Snapshot()
+	if err := e.Restore(snapK); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	e.Run(n - k)
+	if got := e.Snapshot(); !bytes.Equal(want, got) {
+		t.Fatal("reset replay + restore diverged from the original run")
+	}
+}
+
+// TestResetWithRestoreFrom pins the ResetOptions.RestoreFrom path: a
+// rewind-then-restore through ResetWith resumes identically to a direct
+// Restore.
+func TestResetWithRestoreFrom(t *testing.T) {
+	const k, n = 61, 180
+	e := snapTestEngine(t)
+	e.Run(k)
+	snapK := e.Snapshot()
+	e.Run(n - k)
+	want := e.Snapshot()
+
+	if err := e.ResetWith(7, ResetOptions{RestoreFrom: snapK}); err != nil {
+		t.Fatalf("ResetWith(RestoreFrom): %v", err)
+	}
+	if e.Step() != k {
+		t.Fatalf("restored step=%d, want %d", e.Step(), k)
+	}
+	e.Run(n - k)
+	if got := e.Snapshot(); !bytes.Equal(want, got) {
+		t.Fatal("ResetWith(RestoreFrom) resume diverged")
+	}
+}
+
+// TestSnapshotRejectsMismatch checks the structural fingerprint guards:
+// foreign bytes, truncation and wrong-shaped engines all fail loudly
+// instead of silently corrupting state.
+func TestSnapshotRejectsMismatch(t *testing.T) {
+	e := snapTestEngine(t)
+	e.Run(40)
+	snap := e.Snapshot()
+
+	if err := e.Restore(nil); err == nil {
+		t.Fatal("restore of empty stream accepted")
+	}
+	if err := e.Restore(snap[:16]); err == nil {
+		t.Fatal("restore of truncated stream accepted")
+	}
+	junk := append([]byte(nil), snap...)
+	junk[0] ^= 0xff
+	if err := e.Restore(junk); err == nil {
+		t.Fatal("restore of corrupted magic accepted")
+	}
+
+	other, err := New(Config{
+		Net:         grid1x1(t).Network,
+		Controllers: staticFactory(1),
+		Demand:      NewPoissonDemand(rng.New(7), ConstantRate(0.15)),
+		Router:      StraightRouter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = other.Restore(snap)
+	if err == nil {
+		t.Fatal("restore into a differently shaped engine accepted")
+	}
+	if !strings.Contains(err.Error(), "roads") {
+		t.Fatalf("fingerprint error %q does not name the mismatch", err)
+	}
+	// The rejecting engine is still usable: the fingerprint check runs
+	// before any state is touched.
+	other.Run(10)
+	if err := other.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDeterministicBytes pins that two independently built,
+// identically configured engines produce identical snapshot bytes after
+// identical runs — the property that lets equivalence tests compare
+// engines by snapshot instead of walking state.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	a := snapTestEngine(t)
+	b := snapTestEngine(t)
+	a.Run(120)
+	b.Run(120)
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("identically configured engines produced different snapshots")
+	}
+}
+
+// TestSnapshotMixedLanes runs the round-trip equivalence under the
+// head-of-line-blocking extension, whose mixed lane and per-movement
+// membership counters take a distinct serialization path.
+func TestSnapshotMixedLanes(t *testing.T) {
+	spec := network.DefaultGridSpec()
+	spec.Rows, spec.Cols = 2, 2
+	spec.Capacity = 40
+	g, err := network.Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Engine {
+		e, err := New(Config{
+			Net:         g.Network,
+			Controllers: staticFactory(1),
+			Demand:      NewPoissonDemand(rng.New(11), ConstantRate(0.15)),
+			Router:      StraightRouter{},
+			MixedLanes:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	const k, n = 70, 200
+	e := build()
+	e.Run(k)
+	snapK := e.Snapshot()
+	e.Run(n - k)
+	want := e.Snapshot()
+	if err := e.Restore(snapK); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	e.Run(n - k)
+	if got := e.Snapshot(); !bytes.Equal(want, got) {
+		t.Fatal("mixed-lanes resume diverged")
+	}
+}
+
+// TestSnapshotHooksDiscarded pins the Reset-like hook contract: restore
+// drops registered hooks, so a recorder from the interrupted run never
+// fires into the resumed one.
+func TestSnapshotHooksDiscarded(t *testing.T) {
+	e := snapTestEngine(t)
+	e.Run(30)
+	snap := e.Snapshot()
+	fired := 0
+	e.AddHooks(Hooks{Step: func(*Engine, int) { fired++ }})
+	if err := e.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	e.Run(10)
+	if fired != 0 {
+		t.Fatalf("discarded hook fired %d times", fired)
+	}
+}
+
+// TestSnapshotPreservesPhase spot-checks a restored observable against
+// the engine API (snapshot equality already implies it; this guards the
+// accessor path itself).
+func TestSnapshotPreservesPhase(t *testing.T) {
+	e := snapTestEngine(t)
+	e.Run(90)
+	var phases []signal.Phase
+	for _, nid := range junctionNodes(e) {
+		phases = append(phases, e.CurrentPhase(nid))
+	}
+	snap := e.Snapshot()
+	e.Run(50)
+	if err := e.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i, nid := range junctionNodes(e) {
+		if p := e.CurrentPhase(nid); p != phases[i] {
+			t.Fatalf("junction %d phase %d after restore, want %d", nid, p, phases[i])
+		}
+	}
+}
+
+// junctionNodes lists the engine's junction node IDs.
+func junctionNodes(e *Engine) []network.NodeID {
+	var out []network.NodeID
+	for i := range e.juncs {
+		out = append(out, e.juncs[i].j.Node)
+	}
+	return out
+}
