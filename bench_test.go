@@ -20,6 +20,7 @@ import (
 	"utilbp/internal/signal"
 	"utilbp/internal/sim"
 	"utilbp/internal/stability"
+	"utilbp/internal/telemetry"
 )
 
 // benchSetup returns the paper configuration with a fixed seed.
@@ -413,6 +414,67 @@ func BenchmarkStepOnceZoo(b *testing.B) {
 			setup := benchSetup()
 			stepOnceBench(b, setup, f.mk(setup), nil)
 		})
+	}
+}
+
+// BenchmarkStepOnceInstrumented is the warm mini-slot with the
+// telemetry plane engaged (DESIGN.md §15): a telemetry.Net recorder
+// installed on the city-grid workload (256 junctions), so every
+// measured step runs the engine's per-step flush into the ring buffers
+// on top of the full simulation step. Gated in CI at 0 B/op and
+// 0 allocs/op alongside its siblings — the recording path writes only
+// into storage pre-sized at Arm time (the zero-alloc telemetry
+// contract); the measured overhead vs the uninstrumented baseline is
+// tracked by perfbench's instrumented section (PERF.md).
+func BenchmarkStepOnceInstrumented(b *testing.B) {
+	const horizon = 2000
+	w, ok := scenario.WorkloadByName("city-grid")
+	if !ok {
+		b.Fatal("city-grid workload not registered")
+	}
+	setup := w.Setup
+	setup.Seed = 1
+	built, err := setup.Build(w.Pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:              built.Grid.Network,
+		Controllers:      setup.UtilBP(),
+		Demand:           built.Demand,
+		Router:           built.Router,
+		Routes:           built.Routes,
+		Events:           built.Events,
+		ExpectedVehicles: built.ExpectedVehicles(horizon),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := telemetry.NewRecorder(telemetry.Net(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.InstallTelemetry(rec); err != nil {
+		b.Fatal(err)
+	}
+	engine.Run(horizon) // grow the working set over one full horizon
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	used := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if used == horizon {
+			b.StopTimer()
+			if err := engine.Reset(setup.Seed); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			used = 0
+		}
+		engine.Run(1)
+		used++
 	}
 }
 

@@ -7,6 +7,7 @@
 //	papereval -table3
 //	papereval -fig2 -out fig2.csv
 //	papereval -all -duration 900 -step 10     # quick pass
+//	papereval -drain -out artifacts           # city-grid-incident drain curve
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		figs     = flag.Bool("figs", false, "reproduce Figures 3-5 (phase timelines + queue series)")
 		matrix   = flag.Bool("matrix", false, "run the controller × sensor matrix sweep (DESIGN.md §13)")
 		stress   = flag.Bool("stress", false, "run the area-incident stress study (DESIGN.md §14)")
+		drain    = flag.Bool("drain", false, "render the incident drain curve: telemetry net series + recovery metric (DESIGN.md §15)")
+		drainW   = flag.String("drain-workload", "city-grid-incident", "workload for -drain (its setup must carry an incident event)")
 		all      = flag.Bool("all", false, "reproduce everything")
 		duration = flag.Float64("duration", 0, "override horizon in seconds (0 = paper defaults)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -40,7 +43,7 @@ func main() {
 		outDir   = flag.String("out", "", "directory for CSV outputs (empty = no files)")
 	)
 	flag.Parse()
-	if !*table3 && !*fig2 && !*figs && !*ablation && !*matrix && !*stress && *seeds == 0 && !*all {
+	if !*table3 && !*fig2 && !*figs && !*ablation && !*matrix && !*stress && !*drain && *seeds == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -226,6 +229,42 @@ func main() {
 			fmt.Print(experiment.FormatStressStats(rows, seedPair))
 			fmt.Println()
 		}
+	}
+
+	// The drain curve is a repo extension too (DESIGN.md §15): the full
+	// queued-total trajectory of an incident run, straight off the
+	// telemetry net series MeasureRecovery computes its scalars from.
+	if *drain {
+		w, ok := scenario.WorkloadByName(*drainW)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (see scenario.Workloads)", *drainW))
+		}
+		wSetup := w.Setup
+		wSetup.Seed = *seed
+		res, err := experiment.MeasureRecovery(experiment.Spec{
+			Setup:       wSetup,
+			Pattern:     w.Pattern,
+			Factory:     wSetup.UtilBP(),
+			DurationSec: w.SweepHorizon(*duration),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== Incident drain curve (%s, UTIL-BP) ==\n", w.Name)
+		recovery := "never recovered within the horizon"
+		if res.Recovered() {
+			recovery = fmt.Sprintf("recovered %.0f s after clearance", res.RecoverySec)
+		}
+		fmt.Printf("onset queued %d, peak %d, %s; %d samples\n",
+			res.OnsetQueued, res.PeakQueued, recovery, len(res.DrainQueued))
+		if *outDir != "" {
+			if err := writeCSV(filepath.Join(*outDir, "drain.csv"),
+				[]string{"time_s", "queued"}, res.DrainTimes, res.DrainQueued); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*outDir, "drain.csv"))
+		}
+		fmt.Println()
 	}
 }
 

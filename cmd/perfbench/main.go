@@ -41,6 +41,7 @@ import (
 	"utilbp/internal/sensing"
 	"utilbp/internal/signal"
 	"utilbp/internal/sim"
+	"utilbp/internal/telemetry"
 )
 
 // Report is the schema of BENCH_*.json.
@@ -52,15 +53,16 @@ type Report struct {
 	GOARCH      string `json:"goarch"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
-	LoadedStep StepReport          `json:"loaded_step"`
-	SteadyStep StepReport          `json:"steady_step"`
-	Sensing    []SensorStepReport  `json:"sensing,omitempty"`
-	Control    []ControlStepReport `json:"control,omitempty"`
-	Sweeps     []SweepTime         `json:"sweeps"`
-	Matrix     *MatrixReport       `json:"matrix,omitempty"`
-	Robustness []RobustnessReport  `json:"robustness,omitempty"`
-	Stress     []StressReport      `json:"stress,omitempty"`
-	EngineHeap []HeapReport        `json:"engine_heap,omitempty"`
+	LoadedStep   StepReport               `json:"loaded_step"`
+	SteadyStep   StepReport               `json:"steady_step"`
+	Sensing      []SensorStepReport       `json:"sensing,omitempty"`
+	Control      []ControlStepReport      `json:"control,omitempty"`
+	Instrumented []InstrumentedStepReport `json:"instrumented,omitempty"`
+	Sweeps       []SweepTime              `json:"sweeps"`
+	Matrix       *MatrixReport            `json:"matrix,omitempty"`
+	Robustness   []RobustnessReport       `json:"robustness,omitempty"`
+	Stress       []StressReport           `json:"stress,omitempty"`
+	EngineHeap   []HeapReport             `json:"engine_heap,omitempty"`
 }
 
 // StepReport summarizes a stepping measurement. The headline numbers
@@ -110,6 +112,20 @@ type ControlStepReport struct {
 	Workload string `json:"workload"`
 	Mode     string `json:"mode"`
 	StepReport
+}
+
+// InstrumentedStepReport is one telemetry-overhead measurement:
+// steady-state stepping of a workload with a telemetry recorder
+// installed, next to an uninstrumented baseline of an identical engine.
+// OverheadPct is the ns/step increase relative to that baseline — the
+// measured cost of the zero-alloc metrics plane (the recording path
+// itself is CI-gated allocation-free by BenchmarkStepOnceInstrumented).
+type InstrumentedStepReport struct {
+	Workload  string `json:"workload"`
+	Telemetry string `json:"telemetry"`
+	StepReport
+	BaselineNsPerStep float64 `json:"baseline_ns_per_step"`
+	OverheadPct       float64 `json:"overhead_pct"`
 }
 
 // SweepTime is the wall time of one experiment-layer sweep.
@@ -242,6 +258,7 @@ func main() {
 		workload  = flag.Bool("workloads", true, "time a short pooled sweep per registered workload")
 		sense     = flag.Bool("sensing", true, "measure sensing overhead (steady stepping per sensor model) and the penetration sweep wall time")
 		ctrlModes = flag.Bool("control-modes", true, "measure the control substep per dispatch mode (per-junction vs batched) on the paper and city grids")
+		instr     = flag.Bool("instrumented", true, "measure telemetry-recording overhead (steady stepping with a recorder installed vs off) on the paper and city grids")
 		wlDur     = flag.Float64("workload-duration", 900, "horizon in seconds for the workload sweeps; when left at the default, city-scale workloads shorten it via their registered SweepHorizonSec")
 		matrix    = flag.Bool("matrix", true, "run the controller-zoo × sensor matrix sweep (experiment.MatrixSweep) on the paper grid and the city workloads")
 		robust    = flag.Bool("robustness", true, "measure throughput under capacity loss and post-incident recovery on the paper and city grids")
@@ -306,6 +323,26 @@ func main() {
 				fmt.Printf("control %s/%s: %.0f ns/step (control %.0f ns), %.4f allocs/step\n",
 					wl, mode, rep.NsPerStep, rep.Phases.ControlNs, rep.AllocsPerStep)
 			}
+		}
+	}
+
+	if *instr {
+		cases := []struct {
+			workload string
+			spec     telemetry.Spec
+		}{
+			{"paper-grid", telemetry.Net()},
+			{"city-grid", telemetry.Net()},
+			{"city-grid", telemetry.Full()},
+		}
+		for _, c := range cases {
+			rep, err := measureInstrumented(c.workload, c.spec, *seed, *warmup, *steady)
+			if err != nil {
+				fatal(err)
+			}
+			report.Instrumented = append(report.Instrumented, rep)
+			fmt.Printf("telemetry %s/%s: %.0f ns/step (%+.1f%% vs off), %.4f allocs/step\n",
+				c.workload, c.spec, rep.NsPerStep, rep.OverheadPct, rep.AllocsPerStep)
 		}
 	}
 
@@ -598,6 +635,44 @@ func measureControlMode(workload string, mode signal.ControlMode, seed uint64, w
 	}
 	rep.Phases = phaseSplit(timed, steps)
 	return ControlStepReport{Workload: workload, Mode: mode.String(), StepReport: rep}, nil
+}
+
+// measureInstrumented times steady-state stepping with a telemetry
+// recorder installed against an uninstrumented baseline of an identical
+// engine, under the same seed and warmup as the sibling measurements.
+// Telemetry is observation-only, so both engines step the same states —
+// the delta is purely the recording flush.
+func measureInstrumented(workload string, spec telemetry.Spec, seed uint64, warmup, steps int) (InstrumentedStepReport, error) {
+	w, ok := scenario.WorkloadByName(workload)
+	if !ok {
+		return InstrumentedStepReport{}, fmt.Errorf("workload %q not registered", workload)
+	}
+	setup := w.Setup
+	setup.Seed = seed
+	base, err := steadyEngine(setup, w.Pattern, nil, warmup)
+	if err != nil {
+		return InstrumentedStepReport{}, err
+	}
+	baseRep := timeSteps(base, steps)
+	inst, err := steadyEngine(setup, w.Pattern, nil, warmup)
+	if err != nil {
+		return InstrumentedStepReport{}, err
+	}
+	rec, err := telemetry.NewRecorder(spec, steps)
+	if err != nil {
+		return InstrumentedStepReport{}, err
+	}
+	if err := inst.InstallTelemetry(rec); err != nil {
+		return InstrumentedStepReport{}, err
+	}
+	rep := timeSteps(inst, steps)
+	return InstrumentedStepReport{
+		Workload:          workload,
+		Telemetry:         spec.String(),
+		StepReport:        rep,
+		BaselineNsPerStep: baseRep.NsPerStep,
+		OverheadPct:       100 * (rep.NsPerStep - baseRep.NsPerStep) / baseRep.NsPerStep,
+	}, nil
 }
 
 // measureSensing runs the steady-state measurement for one workload ×

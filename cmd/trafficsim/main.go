@@ -14,13 +14,19 @@
 //	trafficsim -events "incident:link=J00->J01,t0=600,dur=300,cap=0.5;surge:t0=600,dur=900,scale=1.5"
 //	trafficsim -snapshot-at 1800 -snapshot-out run.snap
 //	trafficsim -restore-from run.snap
+//	trafficsim -telemetry full -telemetry-out series.csv
+//	trafficsim -workload city-grid-incident -telemetry net -telemetry-out drain.jsonl
+//	trafficsim -trace-out substeps.json
 //	trafficsim -list-workloads
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 
 	"utilbp/internal/cli"
 	"utilbp/internal/config"
@@ -29,7 +35,9 @@ import (
 	"utilbp/internal/scenario"
 	"utilbp/internal/sensing"
 	"utilbp/internal/signal"
+	"utilbp/internal/sim"
 	"utilbp/internal/stats"
+	"utilbp/internal/telemetry"
 	"utilbp/internal/trace"
 )
 
@@ -57,6 +65,9 @@ func main() {
 		snapAt      = flag.Float64("snapshot-at", 0, "capture an engine snapshot after this many simulated seconds (requires -snapshot-out)")
 		snapOut     = flag.String("snapshot-out", "", "write the -snapshot-at snapshot to this path and continue the run")
 		restoreFrom = flag.String("restore-from", "", "resume the run from a snapshot file written by -snapshot-out; the flags must rebuild the captured configuration")
+		telemFlag   = flag.String("telemetry", "", "telemetry spec: off | net | net+junc:<ids> | full — record per-step metric series while the run executes (see -telemetry-out)")
+		telemOut    = flag.String("telemetry-out", "", "write the recorded telemetry series to this path: CSV columns, or one JSON object per step for a .jsonl path (requires -telemetry)")
+		traceOut    = flag.String("trace-out", "", "write the run's substep timeline to this path as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -179,7 +190,10 @@ func main() {
 	if (*snapOut != "") != (*snapAt > 0) {
 		fatal(fmt.Errorf("-snapshot-at and -snapshot-out must be used together"))
 	}
-	if *vehOut == "" && *snapOut == "" && *restoreFrom == "" {
+	if *telemOut != "" && *telemFlag == "" {
+		fatal(fmt.Errorf("-telemetry-out requires -telemetry"))
+	}
+	if *vehOut == "" && *snapOut == "" && *restoreFrom == "" && *telemFlag == "" && *traceOut == "" {
 		res, err := experiment.Run(spec)
 		if err != nil {
 			fatal(err)
@@ -190,6 +204,27 @@ func main() {
 	engine, _, horizon, err := experiment.Prepare(spec)
 	if err != nil {
 		fatal(err)
+	}
+	var rec *telemetry.Recorder
+	if *telemFlag != "" {
+		tspec, err := telemetry.ParseSpec(*telemFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if tspec.Off() && *telemOut != "" {
+			fatal(fmt.Errorf("-telemetry off records nothing to write to %s", *telemOut))
+		}
+		if !tspec.Off() {
+			// Ring sized for the whole horizon: the export carries every
+			// step of the run.
+			rec, err = telemetry.NewRecorder(tspec, int(math.Ceil(horizon/engine.DeltaT()))+1)
+			if err != nil {
+				fatal(err)
+			}
+			if err := engine.InstallTelemetry(rec); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *restoreFrom != "" {
 		data, err := os.ReadFile(*restoreFrom)
@@ -210,8 +245,15 @@ func main() {
 		}
 		fmt.Printf("snapshot          -> %s (t=%.0fs)\n", *snapOut, engine.Time())
 	}
+	var tl *sim.TraceLog
 	if horizon > engine.Time() {
-		engine.RunFor(horizon - engine.Time())
+		steps := int((horizon - engine.Time()) / engine.DeltaT())
+		if *traceOut != "" {
+			tl = sim.NewTraceLog(steps)
+			engine.RunTraced(steps, tl)
+		} else {
+			engine.Run(steps)
+		}
 	}
 	engine.FinalizeWaits()
 	if err := engine.CheckInvariants(); err != nil {
@@ -224,6 +266,25 @@ func main() {
 		Summary:     stats.Summarize(engine.Vehicles()),
 		Totals:      engine.Totals(),
 	})
+	if *telemOut != "" {
+		if err := writeTelemetry(*telemOut, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry series  -> %s (%d steps, %d channels)\n", *telemOut, rec.Len(), len(rec.Headers()))
+	}
+	if *traceOut != "" && tl != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTraceEvents(f, sim.SubstepNames[:], tl.Spans[:]); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("substep trace     -> %s (%d steps)\n", *traceOut, tl.Steps())
+	}
 	if *vehOut == "" {
 		return
 	}
@@ -238,6 +299,33 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("vehicle records   -> %s\n", *vehOut)
+}
+
+// writeTelemetry exports the recorded series: CSV columns by default,
+// one JSON object per step for a .jsonl path.
+func writeTelemetry(path string, rec *telemetry.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	headers, cols := rec.Headers(), rec.Columns()
+	if strings.HasSuffix(path, ".jsonl") {
+		enc := json.NewEncoder(f)
+		row := make(map[string]float64, len(headers))
+		for i := 0; i < rec.Len(); i++ {
+			for c, h := range headers {
+				row[h] = cols[c][i]
+			}
+			if err := enc.Encode(row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	} else if err := trace.WriteSeries(f, headers, cols...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(res experiment.Result) {

@@ -36,6 +36,8 @@ var strictPkgs = map[string]bool{
 	"internal/signal":     true,
 	"internal/rng":        true,
 	"internal/event":      true,
+	"internal/telemetry":  true,
+	"internal/trace":      true,
 }
 
 func main() {

@@ -213,7 +213,10 @@ func MatrixSweep(workloadNames []string, controllers []scenario.ControllerSpec, 
 				caches[name] = NewSharedEngineCache(a)
 			}
 			for idx := range jobs {
-				cells[idx], errs[idx] = plan.runCell(caches, idx)
+				wi, ci, si, _ := plan.cell(idx)
+				withCellLabels(i, plan.workloads[wi].Name, plan.controllers[ci].String(), plan.sensors[si].String(), func() {
+					cells[idx], errs[idx] = plan.runCell(caches, idx)
+				})
 				if errs[idx] != nil {
 					failed.Store(true)
 				}

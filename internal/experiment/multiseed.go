@@ -178,7 +178,10 @@ func TableIIIMultiSeed(base scenario.Setup, patterns []scenario.Pattern, periods
 			defer wg.Done()
 			cache := NewSharedEngineCache(artifacts)
 			for idx := range jobs {
-				waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
+				pi, _, job := plan.cell(idx)
+				withCellLabels(w, plan.patterns[pi].String(), cellLabel(plan.periods, job), base.Sensor.String(), func() {
+					waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
+				})
 				if errs[idx] != nil {
 					failed.Store(true)
 				}

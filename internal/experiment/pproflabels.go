@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// withCellLabels runs one sweep cell under runtime/pprof labels —
+// workload, controller, sensor and the pooled worker's index — so CPU
+// profiles of a pooled sweep attribute samples to the cell being
+// executed instead of an anonymous worker goroutine (filter with e.g.
+// `pprof -tagfocus controller=UTIL-BP`). The labels ride on the
+// goroutine only for the duration of fn; the Labels/Do pair allocates,
+// which is noise at cell granularity (a cell is a full simulation run).
+func withCellLabels(worker int, workload, controller, sensor string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"workload", workload,
+		"controller", controller,
+		"sensor", sensor,
+		"worker", strconv.Itoa(worker),
+	), func(context.Context) { fn() })
+}

@@ -10,10 +10,9 @@ import (
 
 	"utilbp/internal/analysis"
 	"utilbp/internal/event"
-	"utilbp/internal/network"
 	"utilbp/internal/scenario"
 	"utilbp/internal/signal"
-	"utilbp/internal/sim"
+	"utilbp/internal/telemetry"
 )
 
 // DefaultCapFracs returns the canonical disruption-severity axis: the
@@ -231,7 +230,10 @@ func RobustnessSweep(base scenario.Setup, pattern scenario.Pattern, capFracs []f
 				caches[ci] = NewSharedEngineCache(shared[ci])
 			}
 			for idx := range jobs {
-				waits[idx], thrs[idx], errs[idx] = plan.runCell(caches, idx, durationSec)
+				fi, ci, _ := plan.cell(idx)
+				withCellLabels(w, plan.pattern.String(), string(plan.families[fi]), plan.setups[ci].Sensor.String(), func() {
+					waits[idx], thrs[idx], errs[idx] = plan.runCell(caches, idx, durationSec)
+				})
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
@@ -306,6 +308,12 @@ type RecoveryResult struct {
 	// queued count first returned to its onset level, in seconds; -1
 	// when the queues never recovered within the horizon (blow-up).
 	RecoverySec float64
+	// DrainTimes and DrainQueued are the full recovery trajectory the
+	// scalars above collapse to: the network-wide queued total at every
+	// mini-slot of the run with its time axis in seconds, straight off
+	// the telemetry net series the metric is computed from (the drain
+	// curve papereval -drain renders).
+	DrainTimes, DrainQueued []float64
 }
 
 // Recovered reports whether the queues drained back to their onset
@@ -343,24 +351,35 @@ func MeasureRecovery(spec Spec) (RecoveryResult, error) {
 	// The onset level averages the minute before the incident (clamped
 	// to the run start for very early onsets).
 	baseStep := max(0, onsetStep-int(math.Round(60/dt)))
-	res := RecoveryResult{RecoverySec: -1}
-	roads := built.Grid.Network.Roads
-	queued := func(e *sim.Engine) int {
-		total := 0
-		for rid := range roads {
-			total += e.ApproachQueue(network.RoadID(rid))
-		}
-		return total
+	// The metric is computed off a telemetry net recorder sized for the
+	// whole run (recording is observation-only, so instrumenting the run
+	// cannot change it), which also yields the full drain curve instead
+	// of only its scalars.
+	rec, err := telemetry.NewRecorder(telemetry.Net(), int(math.Ceil(duration/dt))+1)
+	if err != nil {
+		return RecoveryResult{}, err
 	}
+	if err := engine.InstallTelemetry(rec); err != nil {
+		return RecoveryResult{}, err
+	}
+	engine.RunFor(duration)
+	engine.FinalizeWaits()
+	if err := engine.CheckInvariants(); err != nil {
+		return RecoveryResult{}, err
+	}
+	res := RecoveryResult{RecoverySec: -1}
+	res.DrainQueued = rec.NetQueued()
+	res.DrainTimes = rec.Times()
+	first := rec.FirstStep()
 	baseSum, baseN := 0, 0
-	engine.AddHooks(sim.Hooks{Step: func(e *sim.Engine, step int) {
-		if step < baseStep || res.Recovered() {
-			return
+	for i, qf := range res.DrainQueued {
+		step, q := first+i, int(qf)
+		if step < baseStep {
+			continue
 		}
-		q := queued(e)
 		if step < onsetStep {
 			baseSum, baseN = baseSum+q, baseN+1
-			return
+			continue
 		}
 		if step == onsetStep {
 			baseSum, baseN = baseSum+q, baseN+1
@@ -371,12 +390,8 @@ func MeasureRecovery(spec Spec) (RecoveryResult, error) {
 		}
 		if step >= clearStep && q <= res.OnsetQueued {
 			res.RecoverySec = float64(step-clearStep) * dt
+			break
 		}
-	}})
-	engine.RunFor(duration)
-	engine.FinalizeWaits()
-	if err := engine.CheckInvariants(); err != nil {
-		return RecoveryResult{}, err
 	}
 	return res, nil
 }

@@ -162,7 +162,10 @@ func SensingSweep(base scenario.Setup, pattern scenario.Pattern, specs []sensing
 			defer wg.Done()
 			cache := NewSharedEngineCache(artifacts)
 			for idx := range jobs {
-				waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
+				si, _ := plan.cell(idx)
+				withCellLabels(w, plan.pattern.String(), string(FamilyUtilBP), plan.specs[si].String(), func() {
+					waits[idx], errs[idx] = plan.runCell(cache, base, idx, durationSec)
+				})
 				if errs[idx] != nil {
 					failed.Store(true)
 				}

@@ -253,7 +253,10 @@ func StressSweep(base scenario.Setup, pattern scenario.Pattern, areas []int, sca
 				caches[ci] = NewSharedEngineCache(shared[ci])
 			}
 			for idx := range jobs {
-				waits[idx], thrs[idx], errs[idx] = plan.runCell(caches, idx, durationSec)
+				fi, ai, si, _ := plan.cell(idx)
+				withCellLabels(w, plan.pattern.String(), string(plan.families[fi]), plan.setupAt(ai, si).Sensor.String(), func() {
+					waits[idx], thrs[idx], errs[idx] = plan.runCell(caches, idx, durationSec)
+				})
 				if errs[idx] != nil {
 					failed.Store(true)
 				}

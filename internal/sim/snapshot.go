@@ -167,8 +167,15 @@ func (e *Engine) Snapshot() []byte {
 // snapshot's structural fingerprint is validated and mismatches
 // rejected. Like Reset, controllers are rebuilt through the factory
 // (their captured state is then restored into the fresh instances) and
-// registered hooks are discarded. On error the engine state is
-// undefined; Reset it or discard it.
+// registered hooks are discarded — they belong to the interrupted
+// run's recorders, so a caller that wants to keep listening must
+// re-register via AddHooks after every Restore
+// (TestRestoreHookReregistration pins this). An installed telemetry
+// recorder is the exception: it survives and re-arms — its series are
+// rewound (the observation history before the checkpoint is not part
+// of the snapshot's semantic state) and recording resumes at the
+// restored step (TestRestoreRearmsTelemetry). On error the engine
+// state is undefined; Reset it or discard it.
 func (e *Engine) Restore(data []byte) error {
 	r := snap.NewReader(data)
 	if m := r.Uint64(); r.Err() == nil && m != snapshotMagic {
@@ -221,6 +228,12 @@ func (e *Engine) Restore(data []byte) error {
 		if err := rs.tail.RestoreState(r); err != nil {
 			return fmt.Errorf("sim: road %d travel heap: %w", i, err)
 		}
+	}
+	// netQueued is derived state, not part of the stream: rebuild it
+	// from the restored per-road counters.
+	e.netQueued = 0
+	for i := range e.roads {
+		e.netQueued += e.roads[i].queuedTotal
 	}
 
 	nv := r.Int()
@@ -296,6 +309,12 @@ func (e *Engine) Restore(data []byte) error {
 	clear(e.hooks)
 	e.hooks = e.hooks[:0]
 	e.hasPhaseHook, e.hasExitHook, e.hasStepHook = false, false, false
+
+	// The telemetry recorder survives the jump but its series restart:
+	// recorded history is observation-only and not in the snapshot.
+	if e.telem != nil {
+		e.rearmTelemetry()
+	}
 
 	if err := readComponent(r, e.cfg.Demand, "demand process"); err != nil {
 		return err

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPhaseTimingsAttribution exercises RunTimed directly (perfbench is
+// its only other caller): the zero value is usable, Steps attributes the
+// window, every bucket is non-negative and the buckets account for
+// roughly the wall time of the run (clock reads sit between substeps,
+// so the sum can only undershoot, never exceed wall time by more than
+// scheduling noise).
+func TestPhaseTimingsAttribution(t *testing.T) {
+	e := snapTestEngine(t)
+	var pt PhaseTimings
+	wall := time.Now()
+	e.RunTimed(200, &pt)
+	elapsed := time.Since(wall)
+	if pt.Steps != 200 {
+		t.Fatalf("Steps = %d, want 200", pt.Steps)
+	}
+	buckets := []time.Duration{pt.Events, pt.Sense, pt.Control, pt.Serve, pt.Travel, pt.Arrivals}
+	var sum time.Duration
+	for i, b := range buckets {
+		if b < 0 {
+			t.Fatalf("bucket %d negative: %v", i, b)
+		}
+		sum += b
+	}
+	if sum <= 0 {
+		t.Fatalf("buckets sum to %v over %d steps", sum, pt.Steps)
+	}
+	// Generous ceiling: clock granularity and preemption can stretch
+	// individual reads, but the attributed total cannot exceed wall time
+	// plus noise.
+	if sum > 2*elapsed+10*time.Millisecond {
+		t.Fatalf("attributed %v, wall clock only %v", sum, elapsed)
+	}
+	// Accumulation: a second window adds on top.
+	e.RunTimed(50, &pt)
+	if pt.Steps != 250 {
+		t.Fatalf("Steps after second window = %d, want 250", pt.Steps)
+	}
+}
+
+// TestRunTracedMatchesRun pins that the timeline stepper evolves state
+// exactly like Run, and that the log geometry is right: six equal-length
+// tracks, StartStep at the window start, Steps counting appends across
+// windows.
+func TestRunTracedMatchesRun(t *testing.T) {
+	const steps = 150
+	plain := snapTestEngine(t)
+	traced := snapTestEngine(t)
+	plain.Run(steps)
+	tl := NewTraceLog(steps)
+	traced.RunTraced(steps, tl)
+	if plain.Totals() != traced.Totals() {
+		t.Fatalf("RunTraced diverged from Run: %+v vs %+v", traced.Totals(), plain.Totals())
+	}
+	if tl.Steps() != steps || tl.StartStep != 0 {
+		t.Fatalf("trace log: %d steps from %d, want %d from 0", tl.Steps(), tl.StartStep, steps)
+	}
+	for s := range tl.Spans {
+		if len(tl.Spans[s]) != steps {
+			t.Fatalf("track %s has %d entries, want %d", SubstepNames[s], len(tl.Spans[s]), steps)
+		}
+	}
+	// A later window appends after the first.
+	traced.RunTraced(10, tl)
+	if tl.Steps() != steps+10 || tl.StartStep != 0 {
+		t.Fatalf("after second window: %d steps from %d", tl.Steps(), tl.StartStep)
+	}
+}
+
+// TestTraceLogReset checks Reset empties the log and re-binds StartStep
+// to the next recorded window.
+func TestTraceLogReset(t *testing.T) {
+	e := snapTestEngine(t)
+	tl := NewTraceLog(64)
+	e.RunTraced(20, tl)
+	tl.Reset()
+	if tl.Steps() != 0 || tl.StartStep != -1 {
+		t.Fatalf("reset log: %d steps, start %d", tl.Steps(), tl.StartStep)
+	}
+	e.RunTraced(5, tl)
+	if tl.Steps() != 5 || tl.StartStep != 20 {
+		t.Fatalf("post-reset window: %d steps from %d, want 5 from 20", tl.Steps(), tl.StartStep)
+	}
+}
+
+// TestTraceLogZeroValue checks the zero value records usably (NewTraceLog
+// only pre-sizes capacity).
+func TestTraceLogZeroValue(t *testing.T) {
+	e := snapTestEngine(t)
+	e.Run(15) // a mid-run first window must still bind StartStep
+	var tl TraceLog
+	e.RunTraced(3, &tl)
+	if tl.Steps() != 3 || tl.StartStep != 15 {
+		t.Fatalf("zero-value log: %d steps from %d, want 3 from 15", tl.Steps(), tl.StartStep)
+	}
+}

@@ -1,0 +1,199 @@
+// Package telemetry implements the zero-allocation metrics plane of the
+// simulator: per-step metric series recorded into pre-sized ring
+// buffers while the engine runs — the live window into queue build-up,
+// estimator convergence and incident drains that post-hoc CSVs cannot
+// give (DESIGN.md §15), and the front half of the trafficsimd daemon's
+// streaming story.
+//
+// A Recorder is installed on an engine via sim.Engine.InstallTelemetry
+// and flushed by the engine at every step boundary. What it records is
+// selected by a declarative, comparable Spec — the same role
+// sensing.Spec plays for observation models — so telemetry
+// configurations can key sweep axes and round-trip through flags:
+//
+//	off                  nothing (the zero value)
+//	net                  network-level series only
+//	net+junc:J00,J22     network series plus the named junctions
+//	full                 network series plus every junction
+//
+// Recording is observation-only by construction: the recorder reads
+// engine ground truth and mutates only its own buffers, so enabling or
+// disabling telemetry never perturbs simulation state (pinned
+// bit-for-bit by TestTelemetryObservationOnly against snapshot bytes).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind selects how much the recorder tracks.
+type Kind int
+
+const (
+	// KindOff records nothing; it is the zero value so an absent spec
+	// means "telemetry off".
+	KindOff Kind = iota
+	// KindNet records the network-level series only: total queued,
+	// spawn-queued (blocked arrivals), per-step spawn/exit counts, the
+	// running mean wait and the active-event count.
+	KindNet
+	// KindNetJunc records the network series plus per-junction channels
+	// for an explicit junction list (Spec.Junctions).
+	KindNetJunc
+	// KindFull records the network series plus per-junction channels
+	// for every junction.
+	KindFull
+)
+
+// String names the kind using the spec grammar's keywords.
+func (k Kind) String() string {
+	switch k {
+	case KindOff:
+		return "off"
+	case KindNet:
+		return "net"
+	case KindNetJunc:
+		return "net+junc"
+	case KindFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is a declarative telemetry selection. The zero value means
+// telemetry off. Specs are comparable (usable as map keys and sweep-axis
+// cells, like sensing.Spec), which is why the junction selection is kept
+// as one canonical string rather than a slice.
+type Spec struct {
+	// Kind selects the recording scope.
+	Kind Kind
+	// Junctions is the canonical junction-label list for KindNetJunc:
+	// comma-joined, lexically sorted, duplicate-free (e.g. "J00,J22").
+	// It is empty for every other kind. Build it with Junc or ParseSpec
+	// rather than by hand so canonical form — and thus Spec equality —
+	// is preserved.
+	Junctions string
+}
+
+// Off reports whether the spec disables telemetry.
+func (s Spec) Off() bool { return s.Kind == KindOff }
+
+// Net returns the network-series-only spec.
+func Net() Spec { return Spec{Kind: KindNet} }
+
+// Full returns the record-everything spec.
+func Full() Spec { return Spec{Kind: KindFull} }
+
+// Junc returns a net+junc spec tracking the given junction labels. The
+// list is canonicalized (sorted, deduplicated) so equal selections
+// compare equal.
+func Junc(labels ...string) Spec {
+	return Spec{Kind: KindNetJunc, Junctions: canonicalJunctions(labels)}
+}
+
+// canonicalJunctions sorts and deduplicates a junction-label list into
+// the comma-joined canonical form Spec.Junctions carries.
+func canonicalJunctions(labels []string) string {
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	out := sorted[:0]
+	for i, l := range sorted {
+		if i == 0 || l != sorted[i-1] {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// JunctionList returns the junction labels of a net+junc spec, nil for
+// every other kind.
+func (s Spec) JunctionList() []string {
+	if s.Kind != KindNetJunc || s.Junctions == "" {
+		return nil
+	}
+	return strings.Split(s.Junctions, ",")
+}
+
+// Validate checks the spec is well formed and in canonical form (the
+// form ParseSpec and the constructors produce), so that comparable
+// equality is meaningful.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindOff, KindNet, KindFull:
+		if s.Junctions != "" {
+			return fmt.Errorf("telemetry: %s spec carries a junction list %q", s.Kind, s.Junctions)
+		}
+		return nil
+	case KindNetJunc:
+		if s.Junctions == "" {
+			return fmt.Errorf("telemetry: net+junc spec needs at least one junction")
+		}
+		prev := ""
+		for i, l := range strings.Split(s.Junctions, ",") {
+			if l == "" {
+				return fmt.Errorf("telemetry: empty junction label in %q", s.Junctions)
+			}
+			if strings.ContainsAny(l, " \t\n") {
+				return fmt.Errorf("telemetry: junction label %q contains whitespace", l)
+			}
+			if i > 0 && l <= prev {
+				return fmt.Errorf("telemetry: junction list %q is not canonical (sorted, unique)", s.Junctions)
+			}
+			prev = l
+		}
+		return nil
+	default:
+		return fmt.Errorf("telemetry: unknown kind %d", int(s.Kind))
+	}
+}
+
+// String renders the spec in the grammar ParseSpec accepts, so specs
+// round-trip through flags and sweep labels.
+func (s Spec) String() string {
+	if s.Kind == KindNetJunc {
+		return "net+junc:" + s.Junctions
+	}
+	return s.Kind.String()
+}
+
+// ParseSpec parses the flag grammar: off | net | net+junc:<ids> | full,
+// where <ids> is a comma-separated junction-label list (canonicalized:
+// the parsed spec's Junctions is sorted and duplicate-free). The kind
+// keyword is case-insensitive and surrounding whitespace is ignored,
+// like sensing.ParseSpec; junction labels are case-sensitive (they name
+// network nodes).
+func ParseSpec(arg string) (Spec, error) {
+	kind, rest, cut := strings.Cut(strings.TrimSpace(arg), ":")
+	kind = strings.ToLower(kind)
+	switch kind {
+	case "off":
+		if cut {
+			return Spec{}, fmt.Errorf("telemetry: off takes no argument in %q", arg)
+		}
+		return Spec{}, nil
+	case "net":
+		if cut {
+			return Spec{}, fmt.Errorf("telemetry: net takes no argument in %q", arg)
+		}
+		return Net(), nil
+	case "full":
+		if cut {
+			return Spec{}, fmt.Errorf("telemetry: full takes no argument in %q", arg)
+		}
+		return Full(), nil
+	case "net+junc":
+		if !cut || rest == "" {
+			return Spec{}, fmt.Errorf("telemetry: net+junc needs a junction list (net+junc:J00,J22)")
+		}
+		s := Junc(strings.Split(rest, ",")...)
+		if err := s.Validate(); err != nil {
+			return Spec{}, err
+		}
+		return s, nil
+	default:
+		return Spec{}, fmt.Errorf("telemetry: unknown spec %q (want off | net | net+junc:<ids> | full)", arg)
+	}
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import "testing"
+
+// FuzzParseSpec fuzzes the spec grammar round trip: every accepted
+// input must validate, render to a fixed-point canonical string, and
+// re-parse to an identical Spec (Specs are comparable, so structural
+// equality is exact — unlike sensing.Spec there are no defaulted
+// numeric parameters to normalize).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"off", "net", "full", "net+junc:J00", "net+junc:J22,J00",
+		"net+junc:J00,J00", " NET ", "Full", "net+junc:", "net+junc",
+		"net:x", "off:1", "bogus", "", "net+junc:a,b,c", "net+junc:J0 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, arg string) {
+		spec, err := ParseSpec(arg)
+		if err != nil {
+			return // rejected inputs are out of contract
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %+v: %v", arg, spec, err)
+		}
+		rendered := spec.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) -> %+v renders %q, which does not re-parse: %v", arg, spec, rendered, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip of %q changed spec: %+v -> %+v", arg, spec, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point: %q -> %q", rendered, again)
+		}
+	})
+}

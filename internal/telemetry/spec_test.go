@@ -1,0 +1,101 @@
+package telemetry
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want Spec
+	}{
+		{"off", Spec{}},
+		{"net", Net()},
+		{"full", Full()},
+		{"net+junc:J00", Junc("J00")},
+		{"net+junc:J22,J00", Junc("J00", "J22")},
+		{"net+junc:J00,J00,J22", Junc("J00", "J22")},
+		{" NET ", Net()},
+		{"FULL", Full()},
+		{"Net+Junc:J00", Junc("J00")},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.arg)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.arg, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.arg, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, arg := range []string{
+		"", "bogus", "net:x", "off:1", "full:all", "net+junc", "net+junc:",
+		"net+junc:,", "net+junc:J00,,J22", "junc:J00",
+	} {
+		if s, err := ParseSpec(arg); err == nil {
+			t.Errorf("ParseSpec(%q) accepted %+v, want error", arg, s)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, s := range []Spec{{}, Net(), Full(), Junc("J00"), Junc("J31", "J02", "J11")} {
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip of %+v via %q gave %+v", s, s.String(), back)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := []Spec{{}, Net(), Full(), Junc("J00", "J22")}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", s, err)
+		}
+	}
+	invalid := []Spec{
+		{Kind: KindNet, Junctions: "J00"},
+		{Kind: KindFull, Junctions: "J00"},
+		{Kind: KindNetJunc},
+		{Kind: KindNetJunc, Junctions: "J22,J00"}, // not sorted
+		{Kind: KindNetJunc, Junctions: "J00,J00"}, // duplicate
+		{Kind: KindNetJunc, Junctions: "J0 0"},    // whitespace
+		{Kind: Kind(99)},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed, want error", s)
+		}
+	}
+}
+
+func TestJuncCanonicalizes(t *testing.T) {
+	if a, b := Junc("J22", "J00", "J22"), Junc("J00", "J22"); a != b {
+		t.Errorf("Junc canonicalization: %+v != %+v", a, b)
+	}
+}
+
+func TestJunctionList(t *testing.T) {
+	s := Junc("J22", "J00")
+	got := s.JunctionList()
+	if len(got) != 2 || got[0] != "J00" || got[1] != "J22" {
+		t.Errorf("JunctionList() = %v, want [J00 J22]", got)
+	}
+	if Net().JunctionList() != nil {
+		t.Errorf("net spec has a junction list")
+	}
+}
+
+func TestSpecOff(t *testing.T) {
+	if !(Spec{}).Off() {
+		t.Errorf("zero spec is not off")
+	}
+	if Net().Off() || Full().Off() {
+		t.Errorf("net/full report off")
+	}
+}

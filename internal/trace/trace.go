@@ -1,5 +1,7 @@
 // Package trace exports simulation series as CSV for external plotting —
-// the figures of the paper are regenerated from these files.
+// the figures of the paper are regenerated from these files — and
+// substep timelines as Chrome trace-event JSON (WriteTraceEvents) for
+// chrome://tracing / Perfetto.
 package trace
 
 import (
@@ -7,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"utilbp/internal/signal"
 	"utilbp/internal/vehicle"
@@ -61,6 +64,57 @@ func WriteSeries(w io.Writer, headers []string, cols ...[]float64) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteTraceEvents writes a substep timeline as a Chrome trace-event
+// JSON array of complete ("ph":"X") events, loadable in chrome://tracing
+// or Perfetto. spans[s][i] is the duration of substep s at the i-th
+// recorded step (sim.TraceLog layout: names and spans index together,
+// all span slices share one length). Substeps of one step are laid out
+// back to back on a single track (pid 1, tid 1) with timestamps
+// accumulated from zero, and each event carries the step index in its
+// args; timestamps and durations are microseconds with nanosecond
+// fraction, per the trace-event format.
+func WriteTraceEvents(w io.Writer, names []string, spans [][]time.Duration) error {
+	if len(names) != len(spans) {
+		return fmt.Errorf("trace: %d names for %d span tracks", len(names), len(spans))
+	}
+	n := -1
+	for s, sp := range spans {
+		if n == -1 {
+			n = len(sp)
+		} else if len(sp) != n {
+			return fmt.Errorf("trace: span track %q has %d steps, want %d", names[s], len(sp), n)
+		}
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	us := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+	}
+	var ts time.Duration
+	first := true
+	for i := 0; i < n; i++ {
+		for s := range spans {
+			sep := ",\n"
+			if first {
+				sep = ""
+				first = false
+			}
+			d := spans[s][i]
+			if _, err := fmt.Fprintf(w,
+				"%s{\"name\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{\"step\":%d}}",
+				sep, names[s], us(ts), us(d), i); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			ts += d
+		}
+	}
+	if _, err := io.WriteString(w, "\n]\n"); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // IntsToFloats converts an int series for WriteSeries.
