@@ -593,6 +593,69 @@ func controlPhaseBench(b *testing.B, mode signal.ControlMode) {
 	b.ReportMetric(float64(pt.Control.Nanoseconds())/float64(pt.Steps), "control_ns_per_step")
 }
 
+// BenchmarkStepOnceServeBatched and BenchmarkStepOnceServeReference
+// time the full warm mini-slot (same warm-and-replay discipline as
+// BenchmarkStepOnce, 0 B/op / 0 allocs/op CI-gated) with the service
+// substep running through the batched serve plane vs the per-junction
+// reference loop (DESIGN.md §16). The serve_ns_per_step metric
+// attributes the serve substep's share from an instrumented replay of
+// the identical horizon (sim.Engine.RunTimed), so the idle-junction
+// skip's win is visible next to the headline ns/op.
+func BenchmarkStepOnceServeBatched(b *testing.B) { serveModeBench(b, sim.ServeBatched) }
+
+// BenchmarkStepOnceServeReference is the reference-loop counterpart of
+// BenchmarkStepOnceServeBatched.
+func BenchmarkStepOnceServeReference(b *testing.B) { serveModeBench(b, sim.ServeReference) }
+
+// serveModeBench is the shared body of the serve-mode benchmarks.
+func serveModeBench(b *testing.B, mode sim.ServeMode) {
+	b.Helper()
+	const horizon = 2000
+	setup := benchSetup()
+	built, err := setup.Build(scenario.PatternI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:              built.Grid.Network,
+		Controllers:      setup.UtilBP(),
+		Demand:           built.Demand,
+		Router:           built.Router,
+		Routes:           built.Routes,
+		Serve:            mode,
+		ExpectedVehicles: built.ExpectedVehicles(horizon),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.Run(horizon) // grow the working set over one full horizon
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	used := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if used == horizon {
+			b.StopTimer()
+			if err := engine.Reset(setup.Seed); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			used = 0
+		}
+		engine.Run(1)
+		used++
+	}
+	b.StopTimer()
+	if err := engine.Reset(setup.Seed); err != nil {
+		b.Fatal(err)
+	}
+	var pt sim.PhaseTimings
+	engine.RunTimed(horizon, &pt)
+	b.ReportMetric(float64(pt.Serve.Nanoseconds())/float64(pt.Steps), "serve_ns_per_step")
+}
+
 func benchName(prefix string, v int) string {
 	const digits = "0123456789"
 	if v < 10 {

@@ -79,7 +79,7 @@ func main() {
 		engine.RunFor(horizon)
 		engine.FinalizeWaits()
 		series[name] = oc
-		waits[name] = stats.Summarize(engine.Vehicles()).MeanWait
+		waits[name] = stats.SummarizeArena(engine.Arena()).MeanWait
 	}
 
 	fmt.Println("Rush-hour surge on a 2x4 corridor (west entries x6 for 20 min)")

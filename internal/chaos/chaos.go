@@ -259,6 +259,17 @@ func Drill(sc Scenario) error {
 		if err := engine.Restore(snaps[i]); err != nil {
 			return fmt.Errorf("chaos: %s: restore at step %d: %w", sc.Describe(), k, err)
 		}
+		// Arena round-trip: re-serializing the just-restored state must
+		// reproduce the checkpoint bytes exactly — this pins the
+		// column-major vehicle-arena codec (snapshot v2, DESIGN.md §16)
+		// alongside the rest of the state sections.
+		if got := engine.Snapshot(); !bytes.Equal(got, snaps[i]) {
+			return fmt.Errorf("chaos: %s: snapshot after restore at step %d does not round-trip (%d vs %d bytes)",
+				sc.Describe(), k, len(got), len(snaps[i]))
+		}
+		if err := check(fmt.Sprintf("restore at step %d", k)); err != nil {
+			return err
+		}
 		engine.Run(sc.Steps - k)
 		if got := engine.Snapshot(); !bytes.Equal(got, final) {
 			return fmt.Errorf("chaos: %s: resume from step %d diverged from the uninterrupted run", sc.Describe(), k)

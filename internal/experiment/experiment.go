@@ -31,6 +31,11 @@ type Spec struct {
 	// StartupLostSteps overrides the engine's startup lost time
 	// (0 = engine default of 2 s, negative disables).
 	StartupLostSteps int
+	// Serve selects the serve-substep dispatch (DESIGN.md §16); the
+	// zero value is the batched serve plane, sim.ServeReference forces
+	// the per-junction reference loop. The two step bit-identical
+	// states, so this is a performance knob, not a semantic one.
+	Serve sim.ServeMode
 }
 
 // Result summarizes one run.
@@ -68,6 +73,7 @@ func Prepare(spec Spec) (*sim.Engine, *scenario.Instance, float64, error) {
 		Events:           built.Events,
 		MixedLanes:       spec.MixedLanes,
 		StartupLostSteps: spec.StartupLostSteps,
+		Serve:            spec.Serve,
 		ExpectedVehicles: built.ExpectedVehicles(duration),
 	})
 	if err != nil {
@@ -99,7 +105,7 @@ func finishRun(engine *sim.Engine, factory signal.Factory, pattern scenario.Patt
 		Controller:  factory.Name(),
 		Pattern:     pattern,
 		DurationSec: duration,
-		Summary:     stats.Summarize(engine.Vehicles()),
+		Summary:     stats.SummarizeArena(engine.Arena()),
 		Totals:      engine.Totals(),
 	}, nil
 }

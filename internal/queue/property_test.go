@@ -1,0 +1,154 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+
+	"utilbp/internal/rng"
+)
+
+// TestLaneRandomOpsProperty drives random Reserve/Push/Pop/Peek/
+// HeadVehicle/At/Reset sequences against a plain-slice model and
+// checks, after every operation, FIFO order, conservation (pushed −
+// popped = queued), capacity bounds and the At/Peek/HeadVehicle views.
+// The operation mix keeps lanes hovering near full so the ring wraps
+// and regrows repeatedly — the geometry the SoA rewrite (DESIGN.md §16)
+// must preserve.
+func TestLaneRandomOpsProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 7, 0x10A0E} {
+		src := rng.New(seed)
+		var l Lane
+		var model []Item
+		pushed, popped := 0, 0
+		next := 0
+		for op := 0; op < 3000; op++ {
+			switch src.Intn(10) {
+			case 0, 1, 2, 3:
+				at := src.Float64() * 1000
+				l.Push(next, at)
+				model = append(model, Item{Vehicle: next, EnqueuedAt: at})
+				next++
+				pushed++
+			case 4, 5, 6:
+				it, ok := l.Pop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("seed %d op %d: Pop ok=%v with model len %d", seed, op, ok, len(model))
+				}
+				if ok {
+					if it != model[0] {
+						t.Fatalf("seed %d op %d: Pop = %+v, model head %+v", seed, op, it, model[0])
+					}
+					model = model[1:]
+					popped++
+				}
+			case 7:
+				it, ok := l.Peek()
+				hv, hok := l.HeadVehicle()
+				if ok != (len(model) > 0) || hok != ok {
+					t.Fatalf("seed %d op %d: Peek/HeadVehicle ok mismatch", seed, op)
+				}
+				if ok && (it != model[0] || int(hv) != model[0].Vehicle) {
+					t.Fatalf("seed %d op %d: Peek = %+v / head %d, model %+v", seed, op, it, hv, model[0])
+				}
+			case 8:
+				// Growing mid-stream must unwrap without reordering.
+				l.Reserve(l.Len() + src.Intn(16))
+			default:
+				if src.Intn(50) == 0 {
+					l.Reset()
+					model = model[:0]
+					pushed, popped = 0, 0
+				}
+			}
+			if l.Len() != len(model) {
+				t.Fatalf("seed %d op %d: Len = %d, model %d", seed, op, l.Len(), len(model))
+			}
+			if l.Cap() < l.Len() {
+				t.Fatalf("seed %d op %d: Cap %d < Len %d", seed, op, l.Cap(), l.Len())
+			}
+			if pushed-popped != len(model) {
+				t.Fatalf("seed %d op %d: conservation broke: %d pushed, %d popped, %d queued",
+					seed, op, pushed, popped, len(model))
+			}
+			if len(model) > 0 {
+				i := src.Intn(len(model))
+				if got := l.At(i); got != model[i] {
+					t.Fatalf("seed %d op %d: At(%d) = %+v, model %+v", seed, op, i, got, model[i])
+				}
+			}
+		}
+		// Drain: the full remaining order must match the model.
+		for i := 0; l.Len() > 0; i++ {
+			it, _ := l.Pop()
+			if it != model[i] {
+				t.Fatalf("seed %d drain %d: %+v, want %+v", seed, i, it, model[i])
+			}
+		}
+	}
+}
+
+// TestTravelRandomOpsProperty checks the transit heap against a sorted
+// reference: arbitrary Add/PopDue interleavings must dequeue strictly
+// by (arrival time, insertion order), and PopDue must never release a
+// vehicle past its deadline.
+func TestTravelRandomOpsProperty(t *testing.T) {
+	type entry struct {
+		at  float64
+		veh int
+		seq int
+	}
+	for _, seed := range []uint64{3, 11, 0x7AFE} {
+		src := rng.New(seed)
+		var tr Travel
+		var model []entry
+		seq := 0
+		clock := 0.0
+		for op := 0; op < 2000; op++ {
+			if src.Intn(3) > 0 {
+				// Coarse times force At ties, exercising the seq tiebreak.
+				at := clock + float64(src.Intn(8))
+				tr.Add(seq+1000, at)
+				model = append(model, entry{at: at, veh: seq + 1000, seq: seq})
+				seq++
+			} else {
+				clock += src.Float64() * 3
+				sort.SliceStable(model, func(i, j int) bool {
+					if model[i].at != model[j].at {
+						return model[i].at < model[j].at
+					}
+					return model[i].seq < model[j].seq
+				})
+				for {
+					a, ok := tr.PopDue(clock)
+					if !ok {
+						if len(model) > 0 && model[0].at <= clock {
+							t.Fatalf("seed %d op %d: PopDue(%g) withheld due arrival %+v",
+								seed, op, clock, model[0])
+						}
+						break
+					}
+					if a.At > clock {
+						t.Fatalf("seed %d op %d: PopDue(%g) released future arrival at %g", seed, op, clock, a.At)
+					}
+					if len(model) == 0 || int(a.Vehicle) != model[0].veh || a.At != model[0].at {
+						t.Fatalf("seed %d op %d: PopDue = veh %d at %g, model head %+v",
+							seed, op, a.Vehicle, a.At, model)
+					}
+					model = model[1:]
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("seed %d op %d: Len = %d, model %d", seed, op, tr.Len(), len(model))
+			}
+			if p, ok := tr.Peek(); ok && p.At > clock {
+				// Peek result must be the true minimum: nothing in the model
+				// may be earlier.
+				for _, e := range model {
+					if e.at < p.At {
+						t.Fatalf("seed %d op %d: Peek at %g but model holds %g", seed, op, p.At, e.at)
+					}
+				}
+			}
+		}
+	}
+}

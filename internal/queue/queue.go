@@ -3,12 +3,17 @@
 // enqueue times) and a time-ordered heap for vehicles travelling along a
 // road toward it.
 //
-// Lane is a ring buffer: pre-sized to its road's link capacity it never
-// touches the heap again — no append growth and no compaction copy, no
-// matter how the queue churns (see DESIGN.md §5). Travel implements its
-// sift operations directly on []Arrival rather than through
-// container/heap, whose interface methods box every element and would put
-// two heap allocations on the per-vehicle hot path.
+// Lane is a ring buffer over structure-of-arrays storage: the vehicle
+// ids and enqueue times live in two parallel rings rather than one
+// []Item ring, so the serve hot loop — which peeks ids far more often
+// than it needs times — streams a dense 4-byte-per-entry array instead
+// of 16-byte pairs (DESIGN.md §16). Pre-sized to its road's link
+// capacity a lane never touches the heap again — no append growth and
+// no compaction copy, no matter how the queue churns (see DESIGN.md
+// §5). Travel implements its sift operations directly on []Arrival
+// rather than through container/heap, whose interface methods box every
+// element and would put two heap allocations on the per-vehicle hot
+// path.
 package queue
 
 // Item is one queued vehicle: its identifier and the time it joined the
@@ -18,35 +23,41 @@ type Item struct {
 	EnqueuedAt float64
 }
 
-// Lane is a FIFO queue of vehicles, implemented as a ring buffer. The
-// zero value is an empty lane ready to use; Reserve pre-sizes the ring so
-// a lane bounded by its road's capacity never allocates after
-// construction. An unreserved (or overfull) lane grows by doubling — the
-// storage never shrinks and elements are never reshuffled on pop.
+// Lane is a FIFO queue of vehicles, implemented as a ring buffer over
+// two parallel arrays (vehicle ids and enqueue times). The zero value
+// is an empty lane ready to use; Reserve pre-sizes the rings so a lane
+// bounded by its road's capacity never allocates after construction.
+// An unreserved (or overfull) lane grows by doubling — the storage
+// never shrinks and elements are never reshuffled on pop.
 type Lane struct {
-	items []Item // ring storage; len(items) is the fixed capacity
-	head  int    // index of the oldest element
-	n     int    // number of queued elements
+	veh  []int32   // ring of vehicle ids; len(veh) is the fixed capacity
+	at   []float64 // parallel ring of enqueue times
+	head int       // index of the oldest element
+	n    int       // number of queued elements
 }
 
 // Reserve grows the ring storage to hold at least capacity items without
 // further allocation. It never shrinks. Call it at engine construction,
 // sized from the road's link capacity.
 func (l *Lane) Reserve(capacity int) {
-	if capacity <= len(l.items) {
+	if capacity <= len(l.veh) {
 		return
 	}
 	l.regrow(capacity)
 }
 
-// regrow moves the ring into fresh storage of the given capacity,
-// unwrapping it so head returns to index 0.
+// regrow moves the rings into fresh storage of the given capacity,
+// unwrapping them so head returns to index 0.
 func (l *Lane) regrow(capacity int) {
-	grown := make([]Item, capacity)
+	veh := make([]int32, capacity)
+	at := make([]float64, capacity)
 	for i := 0; i < l.n; i++ {
-		grown[i] = l.items[(l.head+i)%len(l.items)]
+		j := (l.head + i) % len(l.veh)
+		veh[i] = l.veh[j]
+		at[i] = l.at[j]
 	}
-	l.items = grown
+	l.veh = veh
+	l.at = at
 	l.head = 0
 }
 
@@ -54,13 +65,13 @@ func (l *Lane) regrow(capacity int) {
 func (l *Lane) Len() int { return l.n }
 
 // Cap returns the ring capacity (how many vehicles fit without growth).
-func (l *Lane) Cap() int { return len(l.items) }
+func (l *Lane) Cap() int { return len(l.veh) }
 
-// Push appends a vehicle to the tail of the lane, doubling the ring only
-// when it is full (never for a lane reserved at its bound).
+// Push appends a vehicle to the tail of the lane, doubling the rings
+// only when they are full (never for a lane reserved at its bound).
 func (l *Lane) Push(vehicle int, at float64) {
-	if l.n == len(l.items) {
-		next := 2 * len(l.items)
+	if l.n == len(l.veh) {
+		next := 2 * len(l.veh)
 		if next < 8 {
 			next = 8
 		}
@@ -68,10 +79,11 @@ func (l *Lane) Push(vehicle int, at float64) {
 	}
 	// head < len and n <= len, so one conditional subtract wraps the tail.
 	tail := l.head + l.n
-	if tail >= len(l.items) {
-		tail -= len(l.items)
+	if tail >= len(l.veh) {
+		tail -= len(l.veh)
 	}
-	l.items[tail] = Item{Vehicle: vehicle, EnqueuedAt: at}
+	l.veh[tail] = int32(vehicle)
+	l.at[tail] = at
 	l.n++
 }
 
@@ -81,9 +93,9 @@ func (l *Lane) Pop() (Item, bool) {
 	if l.n == 0 {
 		return Item{}, false
 	}
-	it := l.items[l.head]
+	it := Item{Vehicle: int(l.veh[l.head]), EnqueuedAt: l.at[l.head]}
 	l.head++
-	if l.head == len(l.items) {
+	if l.head == len(l.veh) {
 		l.head = 0
 	}
 	l.n--
@@ -95,14 +107,26 @@ func (l *Lane) Peek() (Item, bool) {
 	if l.n == 0 {
 		return Item{}, false
 	}
-	return l.items[l.head], true
+	return Item{Vehicle: int(l.veh[l.head]), EnqueuedAt: l.at[l.head]}, true
+}
+
+// HeadVehicle returns the id of the head vehicle without touching the
+// enqueue-time ring — the mixed-lane head-of-line check needs only the
+// id, and the narrower load keeps that probe on one cache line. The
+// second result is false when the lane is empty.
+func (l *Lane) HeadVehicle() (int32, bool) {
+	if l.n == 0 {
+		return 0, false
+	}
+	return l.veh[l.head], true
 }
 
 // At returns the i-th queued item counted from the head (0-based). It is
 // intended for end-of-run accounting and assertions; callers must keep
 // i < Len().
 func (l *Lane) At(i int) Item {
-	return l.items[(l.head+i)%len(l.items)]
+	j := (l.head + i) % len(l.veh)
+	return Item{Vehicle: int(l.veh[j]), EnqueuedAt: l.at[j]}
 }
 
 // Reset empties the lane, keeping the ring storage.

@@ -1,0 +1,69 @@
+package signal
+
+// PhaseTable is the flattened phase→link membership of a whole network:
+// every (junction, phase) pair's active links as one dense row of
+// global link indices, all rows back-to-back in one array. It is the
+// serve-plane counterpart of the Batch slab (DESIGN.md §16): where the
+// control plane flattened observations, the phase table flattens the
+// per-junction [][]int phase lists JunctionInfo carries, so the serve
+// substep walks contiguous int32 rows instead of chasing two levels of
+// slice headers per junction per mini-slot.
+//
+// Junction j's rows start at row index Base[j]; its phase p (1-based,
+// as everywhere in this package) is row Base[j]+p-1, and row r covers
+// Links[Off[r]:Off[r+1]]. Link indices are global: junction j's link li
+// appears as juncOff[j]+li, indexing engine-owned slabs directly.
+type PhaseTable struct {
+	// Links holds every row's global link indices back-to-back.
+	Links []int32
+	// Off is the row offset table: row r is Links[Off[r]:Off[r+1]].
+	// len(Off) is the total phase count across junctions, plus one.
+	Off []int32
+	// Base[j] is junction j's first row; len(Base) == numJunctions+1,
+	// so junction j has Base[j+1]-Base[j] phases.
+	Base []int32
+}
+
+// BuildPhaseTable flattens the phase lists of infos (in junction order)
+// into a PhaseTable over the global link index space defined by
+// juncOff, the same prefix-sum offset table Batch.JuncOff uses
+// (junction j's links are globally juncOff[j]..juncOff[j+1]-1).
+func BuildPhaseTable(infos []JunctionInfo, juncOff []int32) PhaseTable {
+	rows, total := 0, 0
+	for i := range infos {
+		rows += len(infos[i].Phases)
+		for _, p := range infos[i].Phases {
+			total += len(p)
+		}
+	}
+	pt := PhaseTable{
+		Links: make([]int32, 0, total),
+		Off:   make([]int32, 0, rows+1),
+		Base:  make([]int32, 0, len(infos)+1),
+	}
+	for i := range infos {
+		pt.Base = append(pt.Base, int32(len(pt.Off)))
+		for _, p := range infos[i].Phases {
+			pt.Off = append(pt.Off, int32(len(pt.Links)))
+			for _, li := range p {
+				pt.Links = append(pt.Links, juncOff[i]+int32(li))
+			}
+		}
+	}
+	pt.Base = append(pt.Base, int32(len(pt.Off)))
+	pt.Off = append(pt.Off, int32(len(pt.Links)))
+	return pt
+}
+
+// NumPhases returns junction j's phase count.
+func (pt *PhaseTable) NumPhases(j int) int {
+	return int(pt.Base[j+1] - pt.Base[j])
+}
+
+// Row returns the global link indices phase p (1-based) of junction j
+// activates. The row aliases the table's storage; callers must not
+// mutate it.
+func (pt *PhaseTable) Row(j int, p Phase) []int32 {
+	r := pt.Base[j] + int32(p) - 1
+	return pt.Links[pt.Off[r]:pt.Off[r+1]]
+}

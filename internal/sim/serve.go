@@ -1,0 +1,475 @@
+// The batched serve plane (DESIGN.md §16): the service substep
+// S(k,k+1) over dense engine-owned arrays indexed by global link id —
+// the same slab discipline the PR 5 control plane established. Three
+// structures carry it: the flattened phase table (signal.PhaseTable)
+// replacing the per-junction [][]int phase lists, one serveSite per
+// link with the road states and per-slot service constants resolved at
+// construction, and the credit slab every junction's credit window
+// aliases. On top of them sits the skip rule: a junction whose applied
+// phase held this mini-slot, whose active lanes all ended the previous
+// pass empty and whose roads saw no change since (the dirty-road
+// protocol doubles as the wake signal) provably serves nothing — its
+// pass reduces to the empty-lane credit recurrence, which the idle tick
+// replays exactly, so skipping is a pure cost optimization with
+// bit-identical state evolution. The reference per-junction loop is
+// kept selectable (Config.Serve) as the pin target of the
+// serve-equivalence harness.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"utilbp/internal/network"
+	"utilbp/internal/queue"
+	"utilbp/internal/signal"
+	"utilbp/internal/vehicle"
+)
+
+// ServeMode selects the serve-substep implementation (DESIGN.md §16).
+// The zero value is ServeBatched — the batched plane is the default
+// path; the reference loop exists as the equivalence pin.
+type ServeMode int
+
+// The serve modes: ServeBatched runs the batched serve plane (dense
+// phase-table rows over the credit slab, idle junctions skipped via
+// the exact credit tick); ServeReference forces the per-junction
+// reference loop the equivalence harness pins the batched plane
+// against. The two are bit-for-bit interchangeable.
+const (
+	ServeBatched ServeMode = iota
+	ServeReference
+)
+
+// String renders the mode in the CLI syntax accepted by
+// ParseServeMode.
+func (m ServeMode) String() string {
+	switch m {
+	case ServeBatched:
+		return "batched"
+	case ServeReference:
+		return "reference"
+	}
+	return fmt.Sprintf("serve(%d)", int(m))
+}
+
+// ParseServeMode parses the CLI serve-mode syntax: "batched" (alias
+// "auto", the default) or "reference".
+func ParseServeMode(arg string) (ServeMode, error) {
+	switch strings.ToLower(strings.TrimSpace(arg)) {
+	case "batched", "auto", "":
+		return ServeBatched, nil
+	case "reference":
+		return ServeReference, nil
+	}
+	return ServeBatched, fmt.Errorf("sim: unknown serve mode %q (want batched or reference)", arg)
+}
+
+// serveSite is one link's resolved serve state: the road states on both
+// ends and the per-slot service constants, precomputed once so the hot
+// loop performs no junction/link chasing and no repeated float
+// arithmetic. The constants are computed with exactly the reference
+// loop's expressions (muDt = l.Mu*Δt, creditCap = l.Mu*Δt+1, startDebt
+// = -float64(StartupLostSteps)*l.Mu*Δt, same association), so the
+// precomputed values are bit-identical to the reference's inline ones.
+type serveSite struct {
+	in, out   *roadState
+	muDt      float64
+	creditCap float64
+	startDebt float64
+	turn      network.Turn
+	outExits  bool
+}
+
+// Per-junction serve-idle states. serveNotIdle (the zero value — what
+// Reset and Restore leave behind) forces a full pass. serveIdleGreen
+// marks a held green whose active lanes all ended the last pass empty:
+// until a wake, its pass is the empty-lane credit recurrence the idle
+// tick replays. serveIdleAmber marks a held amber after one amber pass
+// zeroed every credit: further held-amber passes are no-ops outright.
+const (
+	serveNotIdle uint8 = iota
+	serveIdleGreen
+	serveIdleAmber
+)
+
+// The sub-threshold flag (serveSub) is the skip rule's second leg,
+// orthogonal to lane-emptiness: a held green whose active links all
+// ended the last pass with credit + µΔt < 1 cannot serve this
+// mini-slot no matter what its lanes hold — the serve loop's guard
+// (credit >= 1) fails before the first peek, so the full pass reduces
+// to credit += µΔt per active link (the cap µΔt+1 >= 1 cannot bind)
+// with no lane reads, no dirty marks and no wake dependence. With the
+// paper's µΔt = 0.5 an actively serving link alternates serve /
+// sub-threshold mini-slots, so this halves the full passes of a
+// junction in the middle of a drain. The flag is recomputed by every
+// pass that changes the active credits (full pass and sub tick) and
+// invalidated by the idle tick (whose orbit reset changes credits
+// without recomputing it); like serveIdle it is derived state —
+// cleared on Reset/Restore, never serialized.
+
+// buildServePlane constructs the serve plane: the flattened phase
+// table, the per-link serve sites and the credit slab, rebinding every
+// junction's credit window onto the slab (snapshot encoding is
+// unchanged — the per-junction windows serialize exactly as the old
+// per-junction arrays did). It runs once at construction; the road
+// states and batch tables it resolves are stable for the engine's
+// lifetime.
+func (e *Engine) buildServePlane() {
+	e.phaseTab = signal.BuildPhaseTable(e.batch.Infos, e.batch.JuncOff)
+	e.serveSites = make([]serveSite, e.numLinks)
+	e.creditSlab = make([]float64, e.numLinks)
+	e.serveIdle = make([]uint8, len(e.juncs))
+	e.juncWoke = make([]bool, len(e.juncs))
+	e.serveSub = make([]bool, len(e.juncs))
+	for ji := range e.juncs {
+		js := &e.juncs[ji]
+		lo, hi := js.linkBase, js.linkBase+int32(len(js.j.Links))
+		js.credits = e.creditSlab[lo:hi:hi]
+		for li := range js.j.Links {
+			l := &js.j.Links[li]
+			e.serveSites[lo+int32(li)] = serveSite{
+				in:        &e.roads[l.In],
+				out:       &e.roads[l.Out],
+				muDt:      l.Mu * e.dt,
+				creditCap: l.Mu*e.dt + 1,
+				startDebt: -float64(e.cfg.StartupLostSteps) * l.Mu * e.dt,
+				turn:      l.Turn,
+				outExits:  e.roads[l.Out].exits,
+			}
+		}
+	}
+}
+
+// resetServeSkip rewinds the skip machinery to "full pass everywhere".
+// Reset and Restore call it: the cleared state is conservative, not
+// lossy — a full pass over an idle junction performs exactly the idle
+// tick's credit updates (the serve loop with an empty lane reduces to
+// the same recurrence), so clearing never changes the state evolution,
+// only the cost of the next pass.
+func (e *Engine) resetServeSkip() {
+	for i := range e.serveIdle {
+		e.serveIdle[i] = serveNotIdle
+		e.juncWoke[i] = false
+		e.serveSub[i] = false
+	}
+}
+
+// serve applies S(k,k+1): each link of the active phase serves at its
+// rate, physically blocked when the outgoing road is full. A fresh
+// green (the applied phase differs from the previous mini-slot's)
+// starts with a service debt of StartupLostSteps slots, modeling the
+// acceleration of the stopped queue. Dispatch follows Config.Serve;
+// both paths are pinned bit-for-bit equal by the serve-equivalence
+// harness.
+func (e *Engine) serve(t float64) {
+	if e.serveRef {
+		e.serveReference(t)
+		return
+	}
+	e.serveBatched(t)
+}
+
+// serveBatched is the batched serve plane's pass. The skip rule: a
+// junction is eligible when its applied phase held (current == prev —
+// phase changes reset credits and must run the full pass) AND its idle
+// state from the previous pass still stands AND none of its incoming
+// roads changed since (juncWoke, fanned out by sense from the dirty
+// set to each dirty road's head junction). An eligible held green runs
+// the idle tick — the exact empty-lane credit recurrence, see
+// serveIdleTick — and an eligible held amber skips outright (its
+// credits are already zero). Independently, a held green flagged
+// sub-threshold takes the sub tick — it cannot serve this mini-slot
+// regardless of lane state or wake, see serveSubTick. Everything else
+// takes the full pass, which re-derives both skip conditions.
+func (e *Engine) serveBatched(t float64) {
+	for ji := range e.juncs {
+		js := &e.juncs[ji]
+		cur := js.current
+		if cur == js.prev {
+			switch e.serveIdle[ji] {
+			case serveIdleAmber:
+				// A held amber zeroes credits that are already zero:
+				// a no-op regardless of lane state, so not even a wake
+				// requires the pass.
+				continue
+			case serveIdleGreen:
+				if !e.juncWoke[ji] {
+					// The orbit reset changes credits without
+					// recomputing the sub-threshold flag, so it must
+					// invalidate it (the flag only ever describes the
+					// credits the last full pass or sub tick stored).
+					// Conditional store: after the first idle tick the
+					// flag stays false, and a long idle run must not
+					// dirty the cache line every mini-slot.
+					if e.serveSub[ji] {
+						e.serveSub[ji] = false
+					}
+					e.serveIdleTick(ji, cur)
+					continue
+				}
+			}
+			if e.serveSub[ji] {
+				e.serveSubTick(ji, cur)
+				continue
+			}
+		}
+		e.juncWoke[ji] = false
+		if cur == signal.Amber {
+			for li := range js.credits {
+				js.credits[li] = 0
+			}
+			e.serveIdle[ji] = serveIdleAmber
+			continue
+		}
+		active := js.phaseActive[cur-1]
+		for li := range js.credits {
+			if !active[li] {
+				js.credits[li] = 0
+			}
+		}
+		row := e.phaseTab.Row(ji, cur)
+		if cur != js.prev {
+			for _, gl := range row {
+				e.creditSlab[gl] = e.serveSites[gl].startDebt
+			}
+		}
+		idle, sub := true, true
+		for _, gl := range row {
+			empty, subNext := e.serveLinkAt(gl, t)
+			idle = idle && empty
+			sub = sub && subNext
+		}
+		if idle {
+			e.serveIdle[ji] = serveIdleGreen
+		} else {
+			e.serveIdle[ji] = serveNotIdle
+		}
+		e.serveSub[ji] = sub
+	}
+}
+
+// serveIdleTick advances an idle held-green junction's credits exactly
+// as the full pass would with empty lanes: grant the slot's credit and
+// reset it on the failed peek. The full serve loop with an empty lane
+// stores c+µΔt when that stays below 1 (the loop body never runs) and
+// 0 otherwise (the first peek fails); idle credits are always < 1 (a
+// pass that ends with an empty lane cannot leave a credit >= 1), so
+// the µΔt+1 cap can never bind and the recurrence below is
+// bit-identical. With µΔt < 1 — the paper's calibration is µ = 0.5
+// veh/s at Δt = 1 — empty-lane credits genuinely oscillate (0 → 0.5 →
+// 0 → ...), which is why idle junctions tick rather than skip: frozen
+// credits would diverge from the reference (credits are snapshot
+// state).
+func (e *Engine) serveIdleTick(ji int, cur signal.Phase) {
+	for _, gl := range e.phaseTab.Row(ji, cur) {
+		c := e.creditSlab[gl] + e.serveSites[gl].muDt
+		if c >= 1 {
+			c = 0
+		}
+		e.creditSlab[gl] = c
+	}
+}
+
+// serveSubTick advances a sub-threshold held green: under the flag's
+// invariant (credit + µΔt < 1 on every active link when the last pass
+// stored it) the full pass degenerates to credit += µΔt — the cap
+// µΔt+1 >= 1 cannot bind below 1, the serve loop's credit >= 1 guard
+// fails before any lane peek, nothing is served and nothing is marked
+// dirty. Inactive credits stay untouched: they were zeroed by the full
+// green pass that opened this held phase and nothing has written them
+// since. The tick recomputes the flag from the stored credits, so a
+// chain of sub ticks (µΔt < 0.5) stays exact and terminates: credits
+// grow strictly each tick, forcing a full pass before any link could
+// first serve.
+func (e *Engine) serveSubTick(ji int, cur signal.Phase) {
+	sub := true
+	for _, gl := range e.phaseTab.Row(ji, cur) {
+		muDt := e.serveSites[gl].muDt
+		c := e.creditSlab[gl] + muDt
+		e.creditSlab[gl] = c
+		if c+muDt >= 1 {
+			sub = false
+		}
+	}
+	e.serveSub[ji] = sub
+}
+
+// serveLinkAt is serveLink over a resolved serve site — identical
+// service semantics, with the road states, movement and float constants
+// loaded from the site instead of re-derived per call. It reports the
+// two per-link skip conditions: whether the lane ended the pass empty
+// (the idle condition; when it did, the stored credit is provably < 1)
+// and whether the stored credit keeps the link sub-threshold for the
+// next mini-slot (credit + µΔt < 1 — the link cannot serve then no
+// matter how its lanes change).
+func (e *Engine) serveLinkAt(gl int32, t float64) (empty, subNext bool) {
+	s := &e.serveSites[gl]
+	in, out := s.in, s.out
+	credit := e.creditSlab[gl] + s.muDt
+	if credit > s.creditCap {
+		credit = s.creditCap
+	}
+	served := false
+	for credit >= 1 {
+		var (
+			item queue.Item
+			ok   bool
+		)
+		if e.cfg.MixedLanes {
+			item, ok = in.mixed.Peek()
+			if ok && e.arena.PendingTurn(vehicle.ID(item.Vehicle)) != s.turn {
+				// Head-of-line blocking: the head vehicle wants a
+				// different movement, so this link cannot serve now.
+				break
+			}
+		} else {
+			item, ok = in.lanes[s.turn].Peek()
+		}
+		if !ok {
+			credit = 0
+			break
+		}
+		if !out.hasRoom() {
+			break
+		}
+		if e.cfg.MixedLanes {
+			in.mixed.Pop()
+			in.mixedCount[s.turn]--
+		} else {
+			in.lanes[s.turn].Pop()
+		}
+		in.queuedTotal--
+		e.netQueued--
+		credit--
+		served = true
+		id := vehicle.ID(item.Vehicle)
+		e.arena.Serve(id, t-item.EnqueuedAt)
+		in.occupancy--
+		e.totals.Served++
+		if s.outExits {
+			e.exitVehicle(id, t)
+		} else {
+			out.occupancy++
+			e.enterRoad(out, id, t)
+		}
+	}
+	e.creditSlab[gl] = credit
+	if served {
+		// Both road states changed: the incoming road lost queued
+		// vehicles, the outgoing one gained occupancy and transit.
+		// Served-to-exit vehicles leave the outgoing road untouched
+		// (they never occupy it), so exit roads stay clean.
+		e.markDirty(in.road.ID)
+		if !s.outExits {
+			e.markDirty(out.road.ID)
+		}
+	}
+	subNext = credit+s.muDt < 1
+	if e.cfg.MixedLanes {
+		return in.mixed.Len() == 0, subNext
+	}
+	return in.lanes[s.turn].Len() == 0, subNext
+}
+
+// serveReference is the per-junction reference serve loop — the
+// pre-slab implementation, kept verbatim as the pin target: the
+// serve-equivalence harness runs it against serveBatched on every
+// registry workload and compares snapshot bytes.
+func (e *Engine) serveReference(t float64) {
+	for ji := range e.juncs {
+		js := &e.juncs[ji]
+		if js.current == signal.Amber {
+			for i := range js.credits {
+				js.credits[i] = 0
+			}
+			continue
+		}
+		links := js.j.Phases[js.current-1]
+		active := js.phaseActive[js.current-1]
+		for li := range js.credits {
+			if !active[li] {
+				js.credits[li] = 0
+			}
+		}
+		if js.current != js.prev {
+			for _, li := range links {
+				l := &js.j.Links[li]
+				js.credits[li] = -float64(e.cfg.StartupLostSteps) * l.Mu * e.dt
+			}
+		}
+		for _, li := range links {
+			e.serveLink(js, li, t)
+		}
+	}
+}
+
+// serveLink grants the link its per-slot service credit and serves whole
+// vehicles while credit, queue and downstream space allow. Credit is
+// capped at µΔt+1 so a capacity-blocked link cannot bank unbounded credit
+// and burst, and resets when the lane empties (the paper's service
+// condition requires at least µΔt waiting vehicles to reach the maximum).
+func (e *Engine) serveLink(js *junctionState, li int, t float64) {
+	l := &js.j.Links[li]
+	in := &e.roads[l.In]
+	out := &e.roads[l.Out]
+	credit := js.credits[li] + l.Mu*e.dt
+	if max := l.Mu*e.dt + 1; credit > max {
+		credit = max
+	}
+	served := false
+	for credit >= 1 {
+		var (
+			item queue.Item
+			ok   bool
+		)
+		if e.cfg.MixedLanes {
+			item, ok = in.mixed.Peek()
+			if ok && e.arena.PendingTurn(vehicle.ID(item.Vehicle)) != l.Turn {
+				// Head-of-line blocking: the head vehicle wants a
+				// different movement, so this link cannot serve now.
+				break
+			}
+		} else {
+			item, ok = in.lanes[l.Turn].Peek()
+		}
+		if !ok {
+			credit = 0
+			break
+		}
+		if !out.hasRoom() {
+			break
+		}
+		if e.cfg.MixedLanes {
+			in.mixed.Pop()
+			in.mixedCount[l.Turn]--
+		} else {
+			in.lanes[l.Turn].Pop()
+		}
+		in.queuedTotal--
+		e.netQueued--
+		credit--
+		served = true
+		id := vehicle.ID(item.Vehicle)
+		e.arena.Serve(id, t-item.EnqueuedAt)
+		in.occupancy--
+		e.totals.Served++
+		if out.exits {
+			e.exitVehicle(id, t)
+		} else {
+			out.occupancy++
+			e.enterRoad(out, id, t)
+		}
+	}
+	js.credits[li] = credit
+	if served {
+		// Both road states changed: the incoming road lost queued
+		// vehicles, the outgoing one gained occupancy and transit.
+		// Served-to-exit vehicles leave the outgoing road untouched
+		// (they never occupy it), so exit roads stay clean.
+		e.markDirty(l.In)
+		if !out.exits {
+			e.markDirty(l.Out)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Batched-vs-reference serve plane equivalence: the batched serve path
+// (dense phase-table rows over the credit slab with idle-junction
+// skipping, DESIGN.md §16) must be bit-for-bit indistinguishable from
+// the per-junction reference loop — identical snapshot bytes at random
+// mid-run checkpoints (the PR 8 state-hash property: equal states yield
+// equal snapshots), identical phase traces, vehicle arenas and totals —
+// on every registered workload, across controller families, sensing
+// models and disruption schedules.
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"utilbp/internal/network"
+	"utilbp/internal/rng"
+	"utilbp/internal/scenario"
+	"utilbp/internal/sensing"
+	"utilbp/internal/signal"
+	"utilbp/internal/sim"
+)
+
+// serveRun is one traced run under a serve mode: the phase trace, the
+// snapshot bytes captured at each checkpoint (the final step included),
+// and the finished engine.
+type serveRun struct {
+	trace  []phaseEvent
+	snaps  [][]byte
+	engine *sim.Engine
+}
+
+// runServeTraced builds an engine for the setup/pattern/factory with
+// the given serve mode and runs it to steps, snapshotting at each
+// checkpoint boundary (checkpoints must be ascending, < steps).
+func runServeTraced(t *testing.T, setup scenario.Setup, pattern scenario.Pattern, factory signal.Factory, mode sim.ServeMode, steps int, checkpoints []int) serveRun {
+	t.Helper()
+	built, err := setup.Build(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: factory,
+		Demand:      built.Demand,
+		Router:      built.Router,
+		Routes:      built.Routes,
+		Sensor:      built.Sensor,
+		Control:     setup.Control,
+		Events:      built.Events,
+		Serve:       mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := serveRun{engine: engine}
+	engine.AddHooks(sim.Hooks{Phase: func(node network.NodeID, step int, phase signal.Phase) {
+		run.trace = append(run.trace, phaseEvent{node, step, phase})
+	}})
+	at := 0
+	for _, cp := range checkpoints {
+		engine.Run(cp - at)
+		at = cp
+		run.snaps = append(run.snaps, engine.Snapshot())
+	}
+	engine.Run(steps - at)
+	run.snaps = append(run.snaps, engine.Snapshot())
+	if err := engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestBatchedServeEquivalenceWorkloads pins the batched serve plane to
+// the reference loop on every registered workload × controller family ×
+// sensing model × disruption config: snapshot bytes at two rng-drawn
+// checkpoints plus the final step, and the end-of-run phase trace,
+// totals and vehicle arena, all bit-for-bit. The sensed cells exercise
+// the wake protocol under sensor-driven observation churn, and the
+// incident cells under mid-run capacity events (several workloads —
+// city-grid-incident and friends — additionally carry their own
+// schedules into the "clean" cells).
+func TestBatchedServeEquivalenceWorkloads(t *testing.T) {
+	sensors := []struct {
+		name string
+		spec sensing.Spec
+	}{
+		{"perfect", sensing.Spec{}},
+		{"cv03", sensing.CV(0.3)},
+	}
+	factories := []struct {
+		name string
+		mk   func(scenario.Setup) signal.Factory
+	}{
+		{"UTIL-BP", func(s scenario.Setup) signal.Factory { return s.UtilBP() }},
+		{"CAP-BP", func(s scenario.Setup) signal.Factory { return s.CapBP(20) }},
+		{"MAXPRESSURE", func(s scenario.Setup) signal.Factory { return s.MaxPressure(0) }},
+		{"BP-EST", func(s scenario.Setup) signal.Factory { return s.EstimatedBP(0) }},
+	}
+	for _, w := range scenario.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			steps := int(w.SweepHorizon(240))
+			if steps > 240 {
+				steps = 240
+			}
+			// Two mid-run checkpoints drawn per workload, deterministic
+			// but not hand-picked: snapshot-byte equality must hold at
+			// arbitrary inter-step points, not just the horizon.
+			src := rng.New(0xBA7C_5E61 ^ uint64(len(w.Name))*uint64(steps))
+			a, b := 1+src.Intn(steps-1), 1+src.Intn(steps-1)
+			if a > b {
+				a, b = b, a
+			}
+			checkpoints := []int{a}
+			if b != a {
+				checkpoints = append(checkpoints, b)
+			}
+			for _, sn := range sensors {
+				sn := sn
+				for _, incident := range []bool{false, true} {
+					incident := incident
+					if incident && len(w.Setup.Events) > 0 {
+						// Incident-carrying workloads (city-grid-incident
+						// and friends) replay their own schedule in the
+						// clean cell; stacking a second central incident
+						// would overlap its windows.
+						continue
+					}
+					for _, f := range factories {
+						f := f
+						name := f.name + "/" + sn.name
+						if incident {
+							name += "/incident"
+						}
+						t.Run(name, func(t *testing.T) {
+							setup := w.Setup
+							setup.Seed = 11
+							setup.Sensor = sn.spec
+							if incident {
+								var err error
+								setup, err = setup.WithCentralIncident(
+									float64(steps/4), float64(steps/2), 0.3)
+								if err != nil {
+									t.Fatal(err)
+								}
+							}
+							ref := runServeTraced(t, setup, w.Pattern, f.mk(setup), sim.ServeReference, steps, checkpoints)
+							bat := runServeTraced(t, setup, w.Pattern, f.mk(setup), sim.ServeBatched, steps, checkpoints)
+							compareTraces(t, ref.trace, bat.trace)
+							for i := range ref.snaps {
+								if !bytes.Equal(ref.snaps[i], bat.snaps[i]) {
+									t.Fatalf("snapshot bytes diverge at checkpoint %d of %v (lens %d vs %d)",
+										i, append(checkpoints, steps), len(ref.snaps[i]), len(bat.snaps[i]))
+								}
+							}
+							if ref.engine.Totals() != bat.engine.Totals() {
+								t.Fatalf("totals diverge: reference %+v, batched %+v", ref.engine.Totals(), bat.engine.Totals())
+							}
+							if !reflect.DeepEqual(ref.engine.Vehicles(), bat.engine.Vehicles()) {
+								t.Fatal("vehicle arenas diverge between serve modes")
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedServeResetWithSwitch checks the mid-sweep serve-mode
+// switch: one engine rewound through ResetWith with SetServe flipping
+// batched → reference → batched must replay each leg bit-for-bit like a
+// freshly built engine in that mode (snapshot bytes included).
+func TestBatchedServeResetWithSwitch(t *testing.T) {
+	const steps = 500
+	setup := scenario.Default()
+	setup.Seed = 13
+	built, err := setup.Build(scenario.PatternII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.New(sim.Config{
+		Net:         built.Grid.Network,
+		Controllers: setup.UtilBP(),
+		Demand:      built.Demand,
+		Router:      built.Router,
+		Routes:      built.Routes,
+		Serve:       sim.ServeBatched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(steps)
+
+	legs := []struct {
+		mode sim.ServeMode
+		seed uint64
+	}{
+		{sim.ServeReference, 13},
+		{sim.ServeBatched, 14},
+		{sim.ServeReference, 14},
+	}
+	for _, leg := range legs {
+		if err := engine.ResetWith(leg.seed, sim.ResetOptions{
+			Serve:    leg.mode,
+			SetServe: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		engine.Run(steps)
+		if err := engine.CheckInvariants(); err != nil {
+			t.Fatalf("mode %v seed %d: %v", leg.mode, leg.seed, err)
+		}
+		refSetup := setup
+		refSetup.Seed = leg.seed
+		fresh := runServeTraced(t, refSetup, scenario.PatternII, refSetup.UtilBP(), leg.mode, steps, nil)
+		if engine.Totals() != fresh.engine.Totals() {
+			t.Fatalf("mode %v seed %d: switched totals %+v != fresh totals %+v",
+				leg.mode, leg.seed, engine.Totals(), fresh.engine.Totals())
+		}
+		if !bytes.Equal(engine.Snapshot(), fresh.snaps[len(fresh.snaps)-1]) {
+			t.Fatalf("mode %v seed %d: switched engine snapshot diverges from fresh run", leg.mode, leg.seed)
+		}
+	}
+}
+
+// TestParseServeMode pins the CLI serve-mode syntax.
+func TestParseServeMode(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want sim.ServeMode
+		ok   bool
+	}{
+		{"batched", sim.ServeBatched, true},
+		{"auto", sim.ServeBatched, true},
+		{"", sim.ServeBatched, true},
+		{" Reference ", sim.ServeReference, true},
+		{"reference", sim.ServeReference, true},
+		{"slab", 0, false},
+	}
+	for _, c := range cases {
+		got, err := sim.ParseServeMode(c.arg)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseServeMode(%q) error = %v, want ok=%v", c.arg, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseServeMode(%q) = %v, want %v", c.arg, got, c.want)
+		}
+	}
+	if got, want := sim.ServeBatched.String(), "batched"; got != want {
+		t.Fatalf("ServeBatched.String() = %q, want %q", got, want)
+	}
+	if got, want := sim.ServeReference.String(), "reference"; got != want {
+		t.Fatalf("ServeReference.String() = %q, want %q", got, want)
+	}
+}

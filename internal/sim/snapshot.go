@@ -20,10 +20,8 @@ package sim
 import (
 	"fmt"
 
-	"utilbp/internal/network"
 	"utilbp/internal/signal"
 	"utilbp/internal/snap"
-	"utilbp/internal/vehicle"
 )
 
 const (
@@ -33,7 +31,11 @@ const (
 	// snapshotVersion is bumped whenever the layout changes; Restore
 	// rejects any other version. There is no cross-version migration —
 	// snapshots are checkpoints of a running experiment, not archives.
-	snapshotVersion uint64 = 1
+	// v2 (PR 10): the vehicle section went column-major with the SoA
+	// arena — per-column streams instead of per-vehicle records, and no
+	// ID column (a vehicle's ID is its arena row index). See DESIGN.md
+	// §16 for the exact format delta.
+	snapshotVersion uint64 = 2
 )
 
 // Snapshot captures the engine's complete mutable state as a versioned
@@ -102,20 +104,9 @@ func (e *Engine) Snapshot() []byte {
 		rs.tail.SnapshotState(w)
 	}
 
-	// Vehicle arena with the parallel pending-movement array.
-	w.Int(len(e.vehs))
-	for i := range e.vehs {
-		v := &e.vehs[i]
-		w.Int32(int32(v.ID))
-		w.Uint64(uint64(v.Route))
-		w.Int(int(v.EntryRoad))
-		w.Float64(v.SpawnedAt)
-		w.Float64(v.EnteredAt)
-		w.Float64(v.ExitedAt)
-		w.Float64(v.QueueWait)
-		w.Int(v.Junctions)
-		w.Int32(int32(e.pendingTurn[i]))
-	}
+	// Vehicle arena, column-major (the v2 format delta): the arena
+	// serializes its SoA columns directly, pending movements included.
+	e.arena.SnapshotState(w)
 
 	// Junctions: phase pair, dark-mode state, service credits.
 	for i := range e.juncs {
@@ -236,26 +227,14 @@ func (e *Engine) Restore(data []byte) error {
 		e.netQueued += e.roads[i].queuedTotal
 	}
 
-	nv := r.Int()
-	if r.Err() == nil && (nv < 0 || nv > r.Len()) {
-		return fmt.Errorf("sim: snapshot vehicle count %d exceeds stream", nv)
+	if err := e.arena.RestoreState(r); err != nil {
+		return fmt.Errorf("sim: restore vehicle arena: %w", err)
 	}
-	if r.Err() == nil {
-		e.vehs = growTo(e.vehs, nv)
-		e.pendingTurn = growTo(e.pendingTurn, nv)
-	}
-	for i := 0; i < nv && r.Err() == nil; i++ {
-		v := &e.vehs[i]
-		v.ID = vehicle.ID(r.Int32())
-		v.Route = vehicle.RouteID(r.Uint64())
-		v.EntryRoad = network.RoadID(r.Int())
-		v.SpawnedAt = r.Float64()
-		v.EnteredAt = r.Float64()
-		v.ExitedAt = r.Float64()
-		v.QueueWait = r.Float64()
-		v.Junctions = r.Int()
-		e.pendingTurn[i] = network.Turn(r.Int32())
-	}
+	// The serve-skip cache is derived state like netQueued: clearing it
+	// forces full passes, which over idle junctions perform exactly the
+	// idle tick's updates — conservative, never divergent (DESIGN.md
+	// §16).
+	e.resetServeSkip()
 
 	for i := range e.juncs {
 		js := &e.juncs[i]
@@ -397,7 +376,7 @@ func (e *Engine) snapshotSizeHint() int {
 		vehBytes  = 8*7 + 4 + 4
 		linkBytes = 8 * (8 + 2*signal.NumTurns)
 	)
-	hint := 512 + len(e.roads)*roadFixed + len(e.vehs)*(vehBytes+24) +
+	hint := 512 + len(e.roads)*roadFixed + e.arena.Len()*(vehBytes+24) +
 		e.numLinks*linkBytes + len(e.juncs)*64
 	if e.sensor != nil {
 		hint += e.numLinks * linkBytes
@@ -474,16 +453,4 @@ func readComponent(r *snap.Reader, v any, what string) error {
 		return fmt.Errorf("sim: restore %s: %w", what, err)
 	}
 	return nil
-}
-
-// growTo resizes a slice to n elements, reusing capacity when it can —
-// the engine-reuse contract extends to restore: rewinding into a pooled
-// engine does not reallocate its arenas.
-func growTo[T any](s []T, n int) []T {
-	if cap(s) >= n {
-		return s[:n]
-	}
-	grown := make([]T, n)
-	copy(grown, s[:cap(s)])
-	return grown
 }

@@ -67,6 +67,46 @@ func Summarize(vehs []vehicle.Vehicle) WaitSummary {
 	return s
 }
 
+// SummarizeArena computes a WaitSummary directly over the engine's
+// structure-of-arrays vehicle arena (DESIGN.md §16), streaming the
+// queue-wait and lifecycle columns without materializing []Vehicle
+// rows. It is the arena-native counterpart of Summarize; the two agree
+// exactly on the same state.
+func SummarizeArena(a *vehicle.Arena) WaitSummary {
+	n := a.Len()
+	s := WaitSummary{Spawned: n, CompletionRate: 1}
+	if n == 0 {
+		return s
+	}
+	waits := make([]float64, 0, n)
+	var total, totalExited, totalTrip float64
+	for i := 0; i < n; i++ {
+		id := vehicle.ID(i)
+		w := a.QueueWait(id)
+		waits = append(waits, w)
+		total += w
+		if w > s.MaxWait {
+			s.MaxWait = w
+		}
+		if a.Done(id) {
+			s.Exited++
+			totalExited += w
+			totalTrip += a.TripTime(id)
+		}
+	}
+	s.MeanWait = total / float64(n)
+	if s.Exited > 0 {
+		s.MeanWaitExited = totalExited / float64(s.Exited)
+		s.MeanTripTime = totalTrip / float64(s.Exited)
+	}
+	s.CompletionRate = float64(s.Exited) / float64(s.Spawned)
+	sort.Float64s(waits)
+	s.P50 = percentileSorted(waits, 50)
+	s.P90 = percentileSorted(waits, 90)
+	s.P99 = percentileSorted(waits, 99)
+	return s
+}
+
 // percentileSorted returns the p-th percentile (0-100) of an ascending
 // slice using linear interpolation; it returns 0 for empty input.
 func percentileSorted(sorted []float64, p float64) float64 {

@@ -224,3 +224,68 @@ func TestRecorderEstimatorError(t *testing.T) {
 		t.Errorf("est_err did not converge: first %g, last %g", first, last)
 	}
 }
+
+// TestRecorderWrapGeometryRegression pins the overwrite-oldest ring
+// geometry at every interesting boundary: one short of capacity, the
+// exact wrap point, one past it, whole multiples and a mid-ring
+// offset. At each boundary the recorder must retain exactly the newest
+// min(n, cap) samples in chronological order, with FirstStep tracking
+// the oldest retained step — the geometry the engine's incremental
+// netQueued cross-check (sim.Engine.CheckInvariants) reads the tail
+// through.
+func TestRecorderWrapGeometryRegression(t *testing.T) {
+	const capSteps = 5
+	r, err := NewRecorder(Net(), capSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Arm(1.0, nil)
+	if r.Cap() != capSteps {
+		t.Fatalf("Cap = %d, want %d", r.Cap(), capSteps)
+	}
+	check := func(recorded int) {
+		t.Helper()
+		wantLen := recorded
+		if wantLen > capSteps {
+			wantLen = capSteps
+		}
+		if r.Len() != wantLen {
+			t.Fatalf("after %d records: Len = %d, want %d", recorded, r.Len(), wantLen)
+		}
+		wantFirst := recorded - wantLen
+		if recorded == 0 {
+			wantFirst = -1
+		}
+		if r.FirstStep() != wantFirst {
+			t.Fatalf("after %d records: FirstStep = %d, want %d", recorded, r.FirstStep(), wantFirst)
+		}
+		q := r.NetQueued()
+		if len(q) != wantLen {
+			t.Fatalf("after %d records: series len %d, want %d", recorded, len(q), wantLen)
+		}
+		for i, v := range q {
+			// Sample for step s carries Queued = 1000+s, so the retained
+			// window must be the contiguous newest steps.
+			if want := float64(1000 + wantFirst + i); v != want {
+				t.Fatalf("after %d records: series[%d] = %g, want %g (window %v)", recorded, i, v, want, q)
+			}
+		}
+	}
+	recorded := 0
+	record := func(upTo int) {
+		for ; recorded < upTo; recorded++ {
+			r.RecordNet(recorded, NetSample{Queued: 1000 + recorded})
+		}
+	}
+	check(0)
+	for _, boundary := range []int{capSteps - 1, capSteps, capSteps + 1, 2 * capSteps, 2*capSteps + 3, 7 * capSteps} {
+		record(boundary)
+		check(boundary)
+	}
+	// Rewind mid-wrap restarts the geometry from an empty window.
+	r.Rewind()
+	recorded = 0
+	check(0)
+	record(capSteps + 2)
+	check(capSteps + 2)
+}
